@@ -1,0 +1,116 @@
+// E5 — Consistency modes (paper §5.2.1).
+//
+// The paper introduces s / lcp / gcp threads and says the scheme lets
+// applications choose their consistency-vs-cost point; it reports no
+// absolute numbers. The reproduced shape: per-operation cost grows
+// S < LCP < GCP (locking + per-server commit + distributed 2PC), and
+// only the cp flavours keep the bank's books exact under concurrency
+// and failures.
+//
+// Rows: one benchmark per label at two contention levels, counters report
+// commit/abort mix and the conservation check.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "clouds/cluster.hpp"
+#include "clouds/standard_classes.hpp"
+
+namespace {
+
+using namespace clouds;
+
+struct MixResult {
+  double ms_per_op = 0;
+  int committed = 0;
+  int failed = 0;
+  bool conserved = false;
+};
+
+MixResult runMix(const char* entry, const char* total_entry, int threads, int ops_per_thread,
+                 int accounts) {
+  ClusterConfig cfg;
+  cfg.compute_servers = 2;
+  cfg.data_servers = 1;
+  cfg.workstations = 0;
+  Cluster cluster(cfg);
+  obj::samples::registerAll(cluster.classes());
+  (void)cluster.create("bank", "Bank");
+  (void)cluster.call("Bank", "init", {accounts, 1000});
+
+  MixResult out;
+  const auto start = cluster.sim().now();
+  // `threads` concurrent tellers, each performing a string of transfers.
+  obj::ClassDef teller;
+  teller.name = "teller";
+  teller.entry("run", [entry, ops_per_thread, accounts](obj::ObjectContext& ctx,
+                                                        const obj::ValueList& args)
+                          -> Result<obj::Value> {
+    CLOUDS_TRY_ASSIGN(id, args[0].asInt());
+    std::int64_t committed = 0;
+    for (int i = 0; i < ops_per_thread; ++i) {
+      const std::int64_t from = (id * 7 + i * 3) % accounts;
+      const std::int64_t to = (id * 5 + i * 11 + 1) % accounts;
+      auto r = ctx.call("Bank", entry, {from, to, 5});
+      if (r.ok()) ++committed;
+    }
+    return obj::Value{committed};
+  });
+  cluster.classes().registerClass(std::move(teller));
+  (void)cluster.create("teller", "T");
+
+  std::vector<std::shared_ptr<obj::Runtime::ThreadHandle>> handles;
+  for (int t = 0; t < threads; ++t) {
+    handles.push_back(cluster.start("T", "run", {t}, t % 2));
+  }
+  cluster.run();
+  sim::TimePoint last_done = start;
+  for (auto& h : handles) {
+    if (h->done && h->result.ok()) {
+      out.committed += static_cast<int>(h->result.value().intOr(0));
+      last_done = std::max(last_done, h->completed_at);
+    }
+  }
+  out.failed = threads * ops_per_thread - out.committed;
+  out.ms_per_op = bench::ms(last_done - start) / (threads * ops_per_thread);
+  const auto total = cluster.call("Bank", total_entry);
+  out.conserved = total.ok() && total.value() == obj::Value{accounts * 1000};
+  return out;
+}
+
+void runLabel(benchmark::State& state, const char* entry, const char* total_entry) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const MixResult r = runMix(entry, total_entry, threads, 10, 64);
+    bench::report(state, r.ms_per_op, 0);
+    state.counters["threads"] = threads;
+    state.counters["committed"] = r.committed;
+    state.counters["failed"] = r.failed;
+    state.counters["conserved"] = r.conserved ? 1 : 0;
+  }
+}
+
+void BM_TransferS(benchmark::State& state) { runLabel(state, "transfer_s", "total_s"); }
+void BM_TransferLCP(benchmark::State& state) { runLabel(state, "transfer_lcp", "total"); }
+void BM_TransferGCP(benchmark::State& state) { runLabel(state, "transfer", "total"); }
+
+BENCHMARK(BM_TransferS)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond)->Arg(1)->Arg(4);
+BENCHMARK(BM_TransferLCP)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond)->Arg(1)->Arg(4);
+BENCHMARK(BM_TransferGCP)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond)->Arg(1)->Arg(4);
+
+// Ablation (DESIGN.md design-choice index): how much of GCP's cost is the
+// second 2PC round? Approximated by LCP (one round, per-server) vs GCP on
+// the same single-server workload.
+void BM_CommitProtocolAblation(benchmark::State& state) {
+  for (auto _ : state) {
+    const MixResult lcp = runMix("transfer_lcp", "total", 2, 10, 64);
+    const MixResult gcp = runMix("transfer", "total", 2, 10, 64);
+    bench::report(state, gcp.ms_per_op - lcp.ms_per_op, 0);
+    state.counters["lcp_ms_per_op"] = lcp.ms_per_op;
+    state.counters["gcp_ms_per_op"] = gcp.ms_per_op;
+  }
+}
+BENCHMARK(BM_CommitProtocolAblation)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

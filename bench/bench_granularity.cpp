@@ -1,0 +1,130 @@
+// E7 — computation vs. communication granularity (paper §5.1).
+//
+//   "These experiments are helping us understand the trade-off between
+//    computation and communication, and the granularity of computations
+//    that warrant distribution."
+//
+// Also §3.2: an invocation may run locally (DSM pulls the object's pages
+// here) or be shipped to another compute server (the generalised RPC).
+// This bench sweeps the computation's working set and finds the crossover:
+// small working sets favour shipping the invocation to where the object is
+// hot; large compute-heavy jobs amortise the page migration.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "clouds/cluster.hpp"
+
+namespace {
+
+using namespace clouds;
+
+// scan(pages, usec_per_page): touch `pages` pages of the persistent heap
+// and compute for usec_per_page on each.
+obj::ClassDef scannerClass() {
+  obj::ClassDef def;
+  def.name = "scanner";
+  def.pheap_size = 128 * ra::kPageSize;
+  def.entry("warm", [](obj::ObjectContext& ctx, const obj::ValueList& args)
+                        -> Result<obj::Value> {
+    CLOUDS_TRY_ASSIGN(pages, args[0].asInt());
+    for (std::int64_t p = 0; p < pages; ++p) {
+      ctx.heapPut<std::uint64_t>(16 + static_cast<std::uint64_t>(p) * ra::kPageSize, p + 1);
+    }
+    return obj::Value{};
+  });
+  def.entry("scan", [](obj::ObjectContext& ctx, const obj::ValueList& args)
+                        -> Result<obj::Value> {
+    CLOUDS_TRY_ASSIGN(pages, args[0].asInt());
+    CLOUDS_TRY_ASSIGN(usec_per_page, args[1].asInt());
+    std::int64_t sum = 0;
+    for (std::int64_t p = 0; p < pages; ++p) {
+      sum += static_cast<std::int64_t>(
+          ctx.heapGet<std::uint64_t>(16 + static_cast<std::uint64_t>(p) * ra::kPageSize));
+      ctx.compute(sim::usec(usec_per_page));
+    }
+    return obj::Value{sum};
+  });
+  def.entry("scan_shipped", [](obj::ObjectContext& ctx, const obj::ValueList& args)
+                                -> Result<obj::Value> {
+    // Ship the scan to the compute server given in args[2].
+    CLOUDS_TRY_ASSIGN(node, args[2].asInt());
+    return ctx.callRemote(static_cast<net::NodeId>(node), ctx.self(), "scan",
+                          {args[0], args[1]});
+  });
+  return def;
+}
+
+struct GranularityResult {
+  double local_ms = 0;   // invoke at node 0: DSM pulls the pages here
+  double remote_ms = 0;  // ship the invocation to node 1 (object hot there)
+};
+
+GranularityResult runOnce(std::int64_t pages, std::int64_t usec_per_page) {
+  ClusterConfig cfg;
+  cfg.compute_servers = 2;
+  cfg.data_servers = 1;
+  cfg.workstations = 0;
+  Cluster cluster(cfg);
+  cluster.classes().registerClass(scannerClass());
+  (void)cluster.create("scanner", "S");
+  // Warm the object at compute server 1: its pages become hot there.
+  (void)cluster.call("S", "warm", {pages}, 1);
+  (void)cluster.call("S", "scan", {pages, std::int64_t{0}}, 1);
+
+  GranularityResult out;
+  {
+    // Local strategy: run at node 0, every page migrates over the wire.
+    auto h = cluster.start("S", "scan", {pages, usec_per_page}, 0);
+    const auto t0 = cluster.sim().now();
+    cluster.run();
+    out.local_ms = h->done && h->result.ok() ? bench::ms(h->completed_at - t0) : -1;
+  }
+  // Re-warm at node 1 (the local run stole the pages).
+  (void)cluster.call("S", "scan", {pages, std::int64_t{0}}, 1);
+  {
+    // Shipped strategy: node 0 sends the invocation to node 1.
+    auto h = cluster.start(
+        "S", "scan_shipped",
+        {pages, usec_per_page, static_cast<std::int64_t>(cluster.computeNode(1).id())}, 0);
+    const auto t0 = cluster.sim().now();
+    cluster.run();
+    out.remote_ms = h->done && h->result.ok() ? bench::ms(h->completed_at - t0) : -1;
+  }
+  return out;
+}
+
+void BM_LocalVsShipped(benchmark::State& state) {
+  const std::int64_t pages = state.range(0);
+  const std::int64_t usec_per_page = state.range(1);
+  for (auto _ : state) {
+    const GranularityResult r = runOnce(pages, usec_per_page);
+    if (r.local_ms < 0 || r.remote_ms < 0) {
+      state.SkipWithError("scan failed");
+      return;
+    }
+    bench::report(state, r.local_ms, 0);
+    state.counters["pages"] = static_cast<double>(pages);
+    state.counters["usec_per_page"] = static_cast<double>(usec_per_page);
+    state.counters["local_ms"] = r.local_ms;
+    state.counters["shipped_ms"] = r.remote_ms;
+    state.counters["ship_wins"] = r.remote_ms < r.local_ms ? 1 : 0;
+  }
+}
+
+// Sweep: data-light jobs should favour shipping; compute-heavy jobs with
+// reuse favour migration. The crossover is the §5.1 granularity result.
+BENCHMARK(BM_LocalVsShipped)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({4, 100})
+    ->Args({16, 100})
+    ->Args({64, 100})
+    ->Args({4, 5000})
+    ->Args({16, 5000})
+    ->Args({64, 5000})
+    ->Args({64, 20000});
+
+}  // namespace
+
+BENCHMARK_MAIN();

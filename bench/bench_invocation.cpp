@@ -1,0 +1,103 @@
+// E3 — "Object invocation" (paper §4.3).
+//
+//   "Object invocation costs vary widely depending upon whether the object
+//    is currently in memory or have to be fetched from a data server. The
+//    maximum cost for a null invocation is 103 ms while the minimum cost is
+//    8 ms. Note that due to locality the average costs is much closer to
+//    the minimum than the maximum."
+//
+// Three rows: hot (object active, everything resident), cold (object
+// deactivated, client caches dropped, data server buffer cache cleared —
+// header/code/data come off the disk and over the wire), and a locality
+// workload (one cold start then repeated use) whose mean approaches hot.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "clouds/cluster.hpp"
+
+namespace {
+
+using namespace clouds;
+
+obj::ClassDef nullClass() {
+  obj::ClassDef def;
+  def.name = "nullobj";
+  def.entry("noop", [](obj::ObjectContext&, const obj::ValueList&) -> Result<obj::Value> {
+    return obj::Value{};
+  });
+  return def;
+}
+
+struct InvokeBed {
+  Cluster cluster;
+  Sysname object;
+
+  InvokeBed() : cluster(makeConfig()) {
+    cluster.classes().registerClass(nullClass());
+    object = cluster.create("nullobj", "N").value();
+    (void)cluster.callObject(object, "noop");  // first use: loads everything
+  }
+  static ClusterConfig makeConfig() {
+    ClusterConfig cfg;
+    cfg.compute_servers = 1;
+    cfg.data_servers = 1;
+    cfg.workstations = 0;
+    return cfg;
+  }
+  // One timed invocation (simulated ms between thread start and completion).
+  double timedCall() {
+    auto handle = cluster.runtime(0).startThread(object, "noop", {});
+    const auto t0 = cluster.sim().now();
+    cluster.run();
+    if (!handle->done || !handle->result.ok()) return -1;
+    return bench::ms(handle->completed_at - t0);
+  }
+  void makeCold() {
+    cluster.runtime(0).spawnThread("cooler", [&](obj::CloudsThread& t) {
+      (void)cluster.runtime(0).deactivateObject(*t.process, object);
+    });
+    cluster.run();
+    cluster.dsmClient(0).loseVolatileState();
+    cluster.store(0).clearBufferCache();
+  }
+};
+
+void BM_NullInvocationHot(benchmark::State& state) {
+  InvokeBed bed;
+  for (auto _ : state) {
+    const double ms = bed.timedCall();
+    bench::report(state, ms, 8.0);
+  }
+}
+BENCHMARK(BM_NullInvocationHot)->UseManualTime()->Iterations(5)->Unit(benchmark::kMillisecond);
+
+void BM_NullInvocationCold(benchmark::State& state) {
+  InvokeBed bed;
+  for (auto _ : state) {
+    bed.makeCold();
+    const double ms = bed.timedCall();
+    bench::report(state, ms, 103.0);
+  }
+}
+BENCHMARK(BM_NullInvocationCold)->UseManualTime()->Iterations(5)->Unit(benchmark::kMillisecond);
+
+// Locality workload: 1 cold start + 19 hot calls; the paper's observation
+// is that the mean sits near the minimum.
+void BM_NullInvocationLocalityMix(benchmark::State& state) {
+  InvokeBed bed;
+  for (auto _ : state) {
+    bed.makeCold();
+    double total = 0;
+    constexpr int kCalls = 20;
+    for (int i = 0; i < kCalls; ++i) total += bed.timedCall();
+    bench::report(state, total / kCalls, 0);  // paper gives no exact average
+  }
+}
+BENCHMARK(BM_NullInvocationLocalityMix)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

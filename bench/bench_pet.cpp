@@ -1,0 +1,102 @@
+// E6 — PET resilience (paper §5.2.2).
+//
+//   "This method allows a tradeoff in the amount of resources used (i.e.
+//    the number of parallel threads started for each computation) and the
+//    desired degree of resilience (number of failures the computation can
+//    tolerate, while the computation is in progress.)"
+//
+// The sweep: n PET threads × k replicas under three injected crash
+// schedules. Counters report completion (1/0), completed-thread count,
+// quorum fan-out, and latency; the reproduced shape is completion
+// probability rising with n and k while latency overhead stays modest.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "clouds/standard_classes.hpp"
+#include "pet/pet.hpp"
+
+namespace {
+
+using namespace clouds;
+
+enum class Crash { none, one_compute, compute_and_data };
+
+struct PetRun {
+  bool completed = false;
+  double ms = 0;
+  int threads_completed = 0;
+  int replicas_written = 0;
+};
+
+PetRun runPet(int n_threads, int replicas, Crash crash, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.compute_servers = 4;
+  cfg.data_servers = 3;
+  cfg.workstations = 0;
+  cfg.seed = seed;
+  Cluster cluster(cfg);
+  obj::samples::registerAll(cluster.classes());
+  pet::PetManager pets(cluster);
+
+  auto ro = pets.createReplicated("counter", "RC", replicas);
+  if (!ro.ok()) return {};
+
+  // Crash schedule: node 1 hosts the first PET (placement starts after the
+  // coordinator's node); data server 2 hosts the last replica.
+  if (crash == Crash::one_compute || crash == Crash::compute_and_data) {
+    cluster.sim().schedule(sim::msec(30), [&cluster] { cluster.crashCompute(1); });
+  }
+  if (crash == Crash::compute_and_data) {
+    cluster.sim().schedule(sim::msec(35), [&cluster] { cluster.crashData(2); });
+  }
+
+  const auto start = cluster.sim().now();
+  auto r = pets.runResilient(ro.value(), "add_gcp", {1}, n_threads);
+  PetRun out;
+  out.ms = bench::ms(cluster.sim().now() - start);
+  if (r.ok()) {
+    out.completed = true;
+    out.threads_completed = r.value().threads_completed;
+    out.replicas_written = r.value().replicas_written;
+  }
+  return out;
+}
+
+void BM_PetResilience(benchmark::State& state) {
+  const int n_threads = static_cast<int>(state.range(0));
+  const int replicas = static_cast<int>(state.range(1));
+  const auto crash = static_cast<Crash>(state.range(2));
+  for (auto _ : state) {
+    const PetRun r = runPet(n_threads, replicas, crash, 42);
+    bench::report(state, r.ms, 0);
+    state.counters["pets"] = n_threads;
+    state.counters["replicas"] = replicas;
+    state.counters["crashes"] = static_cast<double>(crash);
+    state.counters["completed"] = r.completed ? 1 : 0;
+    state.counters["threads_done"] = r.threads_completed;
+    state.counters["quorum_writes"] = r.replicas_written;
+  }
+}
+
+// n x k sweep under each crash schedule.
+BENCHMARK(BM_PetResilience)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    // no failures: resource cost of extra PETs/replicas
+    ->Args({1, 1, 0})
+    ->Args({1, 3, 0})
+    ->Args({2, 3, 0})
+    ->Args({3, 3, 0})
+    // one compute server crashes mid-run
+    ->Args({1, 3, 1})
+    ->Args({2, 3, 1})
+    ->Args({3, 3, 1})
+    // compute + data server crash
+    ->Args({2, 2, 2})
+    ->Args({2, 3, 2})
+    ->Args({3, 3, 2});
+
+}  // namespace
+
+BENCHMARK_MAIN();

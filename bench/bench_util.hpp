@@ -1,0 +1,30 @@
+// Shared helpers for the reproduction benchmarks.
+//
+// Benchmarks measure *simulated* time (the deterministic virtual clock of
+// the cluster), reported through google-benchmark's manual-time mode so the
+// "Time" column is directly comparable with the paper's milliseconds. Each
+// benchmark also attaches counters:
+//   paper_ms — the number reported in paper §4.3 (0 when the paper gives
+//              no absolute number, e.g. shape-only experiments)
+//   sim_ms   — what this reproduction measures
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "sim/time.hpp"
+
+namespace clouds::bench {
+
+// Record one simulated-duration sample and the paper comparison.
+inline void report(benchmark::State& state, double sim_ms, double paper_ms) {
+  state.SetIterationTime(sim_ms / 1e3);  // manual time is in seconds
+  state.counters["sim_ms"] = sim_ms;
+  if (paper_ms > 0) {
+    state.counters["paper_ms"] = paper_ms;
+    state.counters["vs_paper"] = sim_ms / paper_ms;
+  }
+}
+
+inline double ms(sim::Duration d) { return sim::toMillis(d); }
+
+}  // namespace clouds::bench

@@ -1,0 +1,43 @@
+// The Clouds user environment (paper §3.1): a workstation user drives the
+// system through the Clouds shell; every invocation becomes a Clouds thread
+// on a compute server, and all output lands on the user's terminal window.
+#include <cstdio>
+
+#include "clouds/shell.hpp"
+#include "clouds/standard_classes.hpp"
+
+using namespace clouds;
+
+int main() {
+  ClusterConfig cfg;
+  cfg.compute_servers = 2;
+  cfg.data_servers = 1;
+  cfg.workstations = 1;
+  Cluster cluster(cfg);
+  obj::samples::registerAll(cluster.classes());
+
+  Shell shell(cluster);
+  const char* script = R"(# a user session, straight from the paper
+classes
+create rectangle Rect01
+invoke Rect01.size 5 10
+invoke Rect01.area
+create counter Hits
+invoke Hits.add 1
+invoke Hits.add 41
+invoke Hits.value
+create file Notes
+invoke Notes.append "remember the milk"
+invoke Notes.size
+names
+)";
+  std::printf("--- running shell script ---\n%s\n--- terminal window 0 ---\n", script);
+  const int failures = shell.executeScript(script);
+
+  for (const auto& line : cluster.workstation(0).output(0)) {
+    std::printf("%s\n", line.c_str());
+  }
+  std::printf("--- end of session (%d failures, %.1f ms simulated) ---\n", failures,
+              sim::toMillis(cluster.sim().now()));
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// The "No Files? No Messages?" box of the paper.
+//
+// "Files can be simulated by objects that store byte sequential data and
+//  have read and write invocations defined to access this data. ... If
+//  desired, a buffer object with the send and receive invocations defined
+//  on it can serve as a port structure between two (or more) communicating
+//  processes."
+//
+// Both are plain Clouds classes here — the operating system itself supports
+// neither files nor messages.
+#include <cstdio>
+
+#include "clouds/cluster.hpp"
+#include "clouds/standard_classes.hpp"
+
+using namespace clouds;
+
+int main() {
+  ClusterConfig cfg;
+  cfg.compute_servers = 2;
+  cfg.data_servers = 1;
+  cfg.workstations = 0;
+  Cluster cluster(cfg);
+  obj::samples::registerAll(cluster.classes());
+
+  // ---- a "file" ----
+  (void)cluster.create("file", "Readme");
+  (void)cluster.call("Readme", "append", {toBytes("persistent objects ")});
+  (void)cluster.call("Readme", "append", {toBytes("instead of files\n")});
+  const auto size = cluster.call("Readme", "size").value().asInt().value();
+  const auto content =
+      cluster.call("Readme", "read", {0, size}).value().asBytes().value();
+  std::printf("file object 'Readme' (%lld bytes): %s", static_cast<long long>(size),
+              toString(content).c_str());
+  // It is just an object: read it from the other compute server too.
+  const auto remote = cluster.call("Readme", "read", {0, 10}, 1).value().asBytes().value();
+  std::printf("first 10 bytes read at compute server 1: '%s'\n", toString(remote).c_str());
+
+  // ---- a "message port" ----
+  (void)cluster.create("mailbox", "Port");
+  // Receiver on compute server 1 blocks in receive(); senders on server 0.
+  auto receiver1 = cluster.start("Port", "receive", {}, 1);
+  auto receiver2 = cluster.start("Port", "receive", {}, 1);
+  auto sender1 = cluster.start("Port", "send", {std::string("first message")}, 0);
+  auto sender2 = cluster.start("Port", "send", {std::string("second message")}, 0);
+  cluster.run();
+
+  if (!receiver1->result.ok() || !receiver2->result.ok()) {
+    std::fprintf(stderr, "receive failed\n");
+    return 1;
+  }
+  std::printf("mailbox object delivered: '%s' and '%s'\n",
+              receiver1->result.value().asString().value().c_str(),
+              receiver2->result.value().asString().value().c_str());
+  std::printf("pending messages: %s\n",
+              cluster.call("Port", "pending").value().toString().c_str());
+  (void)sender1;
+  (void)sender2;
+  return 0;
+}

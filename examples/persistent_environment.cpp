@@ -1,0 +1,118 @@
+// Persistent programming environments (paper §5.1, "Lisp Programming
+// Environment" / "Object-Oriented Programming Environment").
+//
+// "If the address space containing a Lisp environment can be made
+//  persistent, it has several advantages, including not having to save/load
+//  the environment on startup and shutdown. Further, by invoking entry
+//  points in remote [interpreters] it is possible to allow inter-environment
+//  operations that are useful in building knowledge-bases."
+//
+// A `kb` object is a tiny persistent environment: definitions live in the
+// object's single-level store (a hash bucket list in the persistent heap),
+// so there is no load/save step — the environment simply *is*. Two
+// environments on different data servers consult each other by invocation,
+// and evaluation runs concurrently on several compute servers.
+#include <cstdio>
+
+#include "clouds/cluster.hpp"
+
+using namespace clouds;
+using obj::ObjectContext;
+using obj::Value;
+using obj::ValueList;
+
+namespace {
+
+// Persistent layout: data[0] = entry count; heap holds a linked list of
+// (key-hash, value, next) records — relative pointers, meaningful on every
+// node, exactly the point of a single-level store.
+constexpr std::uint64_t kCountOff = 0;
+constexpr std::uint64_t kHeadOff = 8;
+
+obj::ClassDef kbClass() {
+  obj::ClassDef def;
+  def.name = "kb";
+  def.pheap_size = 64 * ra::kPageSize;
+  def.constructor = [](ObjectContext& ctx, const ValueList&) -> Result<Value> {
+    ctx.put<std::int64_t>(kCountOff, 0);
+    ctx.put<std::uint64_t>(kHeadOff, 0);
+    return Value{};
+  };
+  def.entry("define", [](ObjectContext& ctx, const ValueList& args) -> Result<Value> {
+    CLOUDS_TRY_ASSIGN(key, args[0].asString());
+    CLOUDS_TRY_ASSIGN(value, args[1].asInt());
+    CLOUDS_TRY_ASSIGN(node, ctx.palloc(24));
+    ctx.heapPut<std::uint64_t>(node, fnv1a(key));
+    ctx.heapPut<std::int64_t>(node + 8, value);
+    ctx.heapPut<std::uint64_t>(node + 16, ctx.get<std::uint64_t>(kHeadOff));
+    ctx.put<std::uint64_t>(kHeadOff, node);
+    ctx.put<std::int64_t>(kCountOff, ctx.get<std::int64_t>(kCountOff) + 1);
+    return Value{};
+  });
+  def.entry("lookup", [](ObjectContext& ctx, const ValueList& args) -> Result<Value> {
+    CLOUDS_TRY_ASSIGN(key, args[0].asString());
+    const std::uint64_t hash = fnv1a(key);
+    for (std::uint64_t n = ctx.get<std::uint64_t>(kHeadOff); n != 0;
+         n = ctx.heapGet<std::uint64_t>(n + 16)) {
+      if (ctx.heapGet<std::uint64_t>(n) == hash) return Value{ctx.heapGet<std::int64_t>(n + 8)};
+    }
+    return makeError(Errc::not_found, "undefined symbol: " + key);
+  });
+  // Inter-environment operation: resolve here, fall back to a peer KB.
+  def.entry("lookup_or_consult",
+            [](ObjectContext& ctx, const ValueList& args) -> Result<Value> {
+              auto local = ctx.callObject(ctx.self(), "lookup", {args[0]});
+              if (local.ok()) return local;
+              CLOUDS_TRY_ASSIGN(peer, args[1].asString());
+              return ctx.call(peer, "lookup", {args[0]});
+            });
+  def.entry("size", [](ObjectContext& ctx, const ValueList&) -> Result<Value> {
+    return Value{ctx.get<std::int64_t>(kCountOff)};
+  });
+  return def;
+}
+
+}  // namespace
+
+int main() {
+  ClusterConfig cfg;
+  cfg.compute_servers = 3;
+  cfg.data_servers = 2;
+  cfg.workstations = 0;
+  Cluster cluster(cfg);
+  cluster.classes().registerClass(kbClass());
+
+  // Two environments on different data servers.
+  (void)cluster.create("kb", "Physics", /*data_idx=*/0);
+  (void)cluster.create("kb", "Math", /*data_idx=*/1);
+  (void)cluster.call("Math", "define", {std::string("pi_milli"), 3141});
+  (void)cluster.call("Physics", "define", {std::string("c_mps"), 299792458});
+
+  // "No save/load": the environment persists between uses; a different
+  // compute server picks it up exactly where it was.
+  auto c = cluster.call("Physics", "lookup", {std::string("c_mps")}, /*compute_idx=*/2);
+  std::printf("Physics.lookup(c_mps) on another compute server -> %s\n",
+              c.value().toString().c_str());
+
+  // Inter-environment consultation: Physics doesn't know pi, Math does.
+  auto pi = cluster.call("Physics", "lookup_or_consult",
+                         {std::string("pi_milli"), std::string("Math")});
+  std::printf("Physics.lookup_or_consult(pi_milli, Math) -> %s\n",
+              pi.value().toString().c_str());
+
+  // Concurrent evaluations with load-aware scheduling (paper §3.2).
+  std::vector<std::shared_ptr<obj::Runtime::ThreadHandle>> evals;
+  for (int i = 0; i < 6; ++i) {
+    evals.push_back(cluster.startBalanced("Math", "define",
+                                          {std::string("sym") + std::to_string(i), i * 10}));
+  }
+  cluster.run();
+  int completed = 0;
+  for (auto& h : evals) {
+    if (h->done && h->result.ok()) ++completed;
+  }
+  std::printf("%d concurrent definitions committed; Math now holds %s symbols\n", completed,
+              cluster.call("Math", "size").value().toString().c_str());
+
+  return pi.ok() && pi.value() == Value{3141} && completed == 6 ? 0 : 1;
+}

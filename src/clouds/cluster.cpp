@@ -1,0 +1,245 @@
+#include "clouds/cluster.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace clouds {
+
+namespace {
+// Node-id plan: compute servers 1.., combined machines 50.., data servers
+// 100.., workstations 200..
+constexpr net::NodeId kComputeBase = 1;
+constexpr net::NodeId kCombinedBase = 50;
+constexpr net::NodeId kDataBase = 100;
+constexpr net::NodeId kWorkstationBase = 200;
+}  // namespace
+
+Cluster::Machine Cluster::makeMachine(net::NodeId id, const std::string& name, bool data_role,
+                                      bool compute_role) {
+  Machine m;
+  int roles = 0;
+  if (data_role) roles |= static_cast<int>(ra::NodeRole::data);
+  if (compute_role) roles |= static_cast<int>(ra::NodeRole::compute);
+  m.node = std::make_unique<ra::Node>(sim_, config_.cost, ether_, id, name, roles);
+  if (data_role) {
+    m.store =
+        std::make_unique<store::DiskStore>(m.node->id(), config_.cost, config_.store_cache_pages);
+    m.server = std::make_unique<dsm::DsmServer>(*m.node, *m.store);
+  }
+  if (compute_role) {
+    // On a combined machine the client partition short-circuits requests
+    // for locally homed segments ("data access via local disk is faster
+    // than data access over a network", paper §3).
+    auto dsm_part = std::make_unique<dsm::DsmClientPartition>(*m.node, m.server.get(),
+                                                              config_.frame_capacity);
+    m.dsm = dsm_part.get();
+    m.node->addPartition(std::move(dsm_part));
+    auto anon_part =
+        std::make_unique<ra::AnonPartition>(m.node->id(), m.node->cpu(), config_.cost);
+    m.anon = anon_part.get();
+    m.node->addPartition(std::move(anon_part));
+  }
+  return m;
+}
+
+void Cluster::finishComputeRole(Machine& m) {
+  if (m.dsm == nullptr) return;
+  m.runtime = std::make_unique<obj::Runtime>(*m.node, *m.dsm, *m.anon, classes_,
+                                             data_view_.front().node->id());
+}
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config), sim_(config.seed), ether_(sim_, config_.cost) {
+  if (config_.compute_servers + config_.combined_servers < 1 ||
+      config_.data_servers + config_.combined_servers < 1) {
+    throw std::invalid_argument("cluster needs at least one compute and one data role");
+  }
+  // Machines: pure data servers, then combined, then pure compute servers.
+  for (int i = 0; i < config_.data_servers; ++i) {
+    machines_.push_back(
+        makeMachine(kDataBase + i, "data" + std::to_string(i), true, false));
+  }
+  for (int i = 0; i < config_.combined_servers; ++i) {
+    machines_.push_back(
+        makeMachine(kCombinedBase + i, "combo" + std::to_string(i), true, true));
+  }
+  for (int i = 0; i < config_.compute_servers; ++i) {
+    machines_.push_back(
+        makeMachine(kComputeBase + i, "cpu" + std::to_string(i), false, true));
+  }
+
+  // Views: data = pure data servers first, then combined; compute = pure
+  // compute servers first, then combined.
+  for (auto& m : machines_) {
+    if (m.store != nullptr && m.dsm == nullptr) {
+      data_view_.push_back(DataView{m.node.get(), m.store.get(), m.server.get()});
+    }
+  }
+  for (auto& m : machines_) {
+    if (m.store != nullptr && m.dsm != nullptr) {
+      data_view_.push_back(DataView{m.node.get(), m.store.get(), m.server.get()});
+    }
+  }
+  name_server_ = std::make_unique<sysobj::NameServer>(*data_view_.front().node);
+  for (auto& m : machines_) {
+    if (m.dsm != nullptr && m.store == nullptr) finishComputeRole(m);
+  }
+  for (auto& m : machines_) {
+    if (m.dsm != nullptr && m.store != nullptr) finishComputeRole(m);
+  }
+  for (auto& m : machines_) {
+    if (m.runtime != nullptr && m.store == nullptr) {
+      compute_view_.push_back(ComputeView{m.node.get(), m.runtime.get(), m.dsm});
+    }
+  }
+  for (auto& m : machines_) {
+    if (m.runtime != nullptr && m.store != nullptr) {
+      compute_view_.push_back(ComputeView{m.node.get(), m.runtime.get(), m.dsm});
+    }
+  }
+
+  for (int i = 0; i < config_.workstations; ++i) {
+    WorkstationNode wn;
+    wn.node = std::make_unique<ra::Node>(sim_, config_.cost, ether_, kWorkstationBase + i,
+                                         "ws" + std::to_string(i),
+                                         static_cast<int>(ra::NodeRole::workstation));
+    wn.ws = std::make_unique<sysobj::Workstation>(*wn.node);
+    workstations_.push_back(std::move(wn));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Result<Sysname> Cluster::create(const std::string& class_name, const std::string& object_name,
+                                int data_idx, int compute_idx) {
+  Result<Sysname> result = makeError(Errc::internal, "create never ran");
+  obj::Runtime& rt = runtime(compute_idx);
+  rt.spawnThread("create:" + object_name, [&, this](obj::CloudsThread& t) {
+    result = rt.createObject(t, class_name, dataNode(data_idx).id(), object_name);
+  });
+  sim_.run();
+  return result;
+}
+
+Result<obj::Value> Cluster::call(const std::string& object_name, const std::string& entry,
+                                 obj::ValueList args, int compute_idx) {
+  auto handle = runtime(compute_idx)
+                    .startThreadByName(object_name, entry, std::move(args), workstationId(0), 0);
+  sim_.run();
+  if (!handle->done) {
+    return makeError(Errc::internal, "simulation drained before the thread completed "
+                                     "(blocked forever?)");
+  }
+  return handle->result;
+}
+
+Result<obj::Value> Cluster::callObject(const Sysname& object, const std::string& entry,
+                                       obj::ValueList args, int compute_idx) {
+  auto handle =
+      runtime(compute_idx).startThread(object, entry, std::move(args), workstationId(0), 0);
+  sim_.run();
+  if (!handle->done) {
+    return makeError(Errc::internal, "simulation drained before the thread completed "
+                                     "(blocked forever?)");
+  }
+  return handle->result;
+}
+
+std::shared_ptr<obj::Runtime::ThreadHandle> Cluster::start(const std::string& object_name,
+                                                           const std::string& entry,
+                                                           obj::ValueList args,
+                                                           int compute_idx) {
+  return runtime(compute_idx)
+      .startThreadByName(object_name, entry, std::move(args), workstationId(0), 0);
+}
+
+Result<void> Cluster::sync() {
+  Result<void> out = okResult();
+  for (auto& cv : compute_view_) {
+    if (!cv.node->alive()) continue;
+    cv.runtime->spawnThread("sync", [&](obj::CloudsThread& t) {
+      auto r = cv.dsm->flushAll(*t.process);
+      if (!r.ok() && out.ok()) out = r;
+    });
+  }
+  sim_.run();
+  return out;
+}
+
+Result<void> Cluster::saveTo(const std::string& directory) {
+  CLOUDS_TRY(sync());
+  for (std::size_t i = 0; i < data_view_.size(); ++i) {
+    CLOUDS_TRY(data_view_[i].store->saveTo(directory + "/data" + std::to_string(i) + ".img"));
+  }
+  return name_server_->saveTo(directory + "/names.img");
+}
+
+Result<void> Cluster::loadFrom(const std::string& directory) {
+  for (std::size_t i = 0; i < data_view_.size(); ++i) {
+    CLOUDS_TRY(data_view_[i].store->loadFrom(directory + "/data" + std::to_string(i) + ".img"));
+  }
+  return name_server_->loadFrom(directory + "/names.img");
+}
+
+Cluster::Stats Cluster::stats() const {
+  Stats s;
+  for (const auto& cv : compute_view_) {
+    s.invocations += cv.runtime->stats().invocations;
+    s.remote_invocations += cv.runtime->stats().remote_invocations_served;
+    s.activations += cv.runtime->stats().activations;
+    s.tx_retries += cv.runtime->stats().tx_retries;
+    s.page_faults += cv.dsm->faultCount();
+    s.retransmissions += cv.node->ratp().stats().retransmissions;
+  }
+  for (const auto& dv : data_view_) {
+    s.invalidations += dv.server->invalidationsSent() + dv.server->degradesSent();
+    s.disk_reads += dv.store->diskReads();
+    s.disk_writes += dv.store->diskWrites();
+    s.retransmissions += dv.node->ratp().stats().retransmissions;
+  }
+  s.frames_on_wire = ether_.framesOnWire();
+  s.bytes_on_wire = ether_.bytesOnWire();
+  return s;
+}
+
+std::string Cluster::Stats::toString() const {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "invocations=%llu (remote %llu) activations=%llu tx_retries=%llu "
+                "faults=%llu coherence_callbacks=%llu frames=%llu bytes=%llu "
+                "retransmits=%llu disk_r/w=%llu/%llu",
+                static_cast<unsigned long long>(invocations),
+                static_cast<unsigned long long>(remote_invocations),
+                static_cast<unsigned long long>(activations),
+                static_cast<unsigned long long>(tx_retries),
+                static_cast<unsigned long long>(page_faults),
+                static_cast<unsigned long long>(invalidations),
+                static_cast<unsigned long long>(frames_on_wire),
+                static_cast<unsigned long long>(bytes_on_wire),
+                static_cast<unsigned long long>(retransmissions),
+                static_cast<unsigned long long>(disk_reads),
+                static_cast<unsigned long long>(disk_writes));
+  return buf;
+}
+
+int Cluster::scheduleComputeServer() const {
+  int best = -1;
+  std::size_t best_load = 0;
+  for (std::size_t i = 0; i < compute_view_.size(); ++i) {
+    if (!compute_view_[i].node->alive()) continue;
+    const std::size_t load = compute_view_[i].runtime->liveThreadCount();
+    if (best < 0 || load < best_load) {
+      best = static_cast<int>(i);
+      best_load = load;
+    }
+  }
+  if (best < 0) throw std::runtime_error("no live compute server to schedule on");
+  return best;
+}
+
+std::shared_ptr<obj::Runtime::ThreadHandle> Cluster::startBalanced(
+    const std::string& object_name, const std::string& entry, obj::ValueList args) {
+  return start(object_name, entry, std::move(args), scheduleComputeServer());
+}
+
+}  // namespace clouds

@@ -1,0 +1,174 @@
+// Cluster — a complete Clouds installation (paper §3, Figure 3): compute
+// servers (diskless), data servers, optional combined compute+data machines
+// ("a machine with a disk can simultaneously be a compute and data
+// server"), and user workstations on one Ethernet, with the name server on
+// the first data server.
+//
+// This is the library's top-level public API. Host code registers classes,
+// creates objects, and invokes entry points; each synchronous helper spawns
+// a Clouds thread inside the simulation and drains the event loop. For
+// concurrent scenarios (several threads in flight), use start() handles and
+// run() directly.
+//
+// Index spaces: compute indices cover the diskless compute servers first,
+// then the combined machines; data indices cover the pure data servers
+// first, then the combined machines.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clouds/runtime.hpp"
+#include "dsm/server.hpp"
+#include "sim/simulation.hpp"
+
+namespace clouds {
+
+struct ClusterConfig {
+  int compute_servers = 2;   // diskless
+  int data_servers = 1;      // storage-only
+  int combined_servers = 0;  // compute + data on one machine
+  int workstations = 1;
+  std::uint64_t seed = 42;
+  sim::CostModel cost;
+  std::size_t frame_capacity = 2048;   // DSM frames per compute server
+  std::size_t store_cache_pages = 256; // buffer cache per data server
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {});
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // ---- Programming model ----
+  obj::ClassRegistry& classes() noexcept { return classes_; }
+
+  // Create an instance of a registered class; its persistent segments live
+  // on data server `data_idx`. Synchronous (drains the simulation).
+  Result<Sysname> create(const std::string& class_name, const std::string& object_name,
+                         int data_idx = 0, int compute_idx = 0);
+
+  // Invoke object.entry(args) on a Clouds thread at compute server
+  // `compute_idx`, controlled by window 0 of workstation 0 when present.
+  Result<obj::Value> call(const std::string& object_name, const std::string& entry,
+                          obj::ValueList args = {}, int compute_idx = 0);
+  Result<obj::Value> callObject(const Sysname& object, const std::string& entry,
+                                obj::ValueList args = {}, int compute_idx = 0);
+
+  // Asynchronous thread start (drive with run()).
+  std::shared_ptr<obj::Runtime::ThreadHandle> start(const std::string& object_name,
+                                                    const std::string& entry,
+                                                    obj::ValueList args = {},
+                                                    int compute_idx = 0);
+
+  // The paper's §3.2 scheduling decision: "selecting a compute server to
+  // execute the thread ... may depend on such factors as scheduling
+  // policies and the load at each compute server". Returns the least-loaded
+  // live compute server (by hosted-thread count, ties to the lowest index).
+  int scheduleComputeServer() const;
+  // start() on the scheduled server.
+  std::shared_ptr<obj::Runtime::ThreadHandle> startBalanced(const std::string& object_name,
+                                                            const std::string& entry,
+                                                            obj::ValueList args = {});
+
+  // Drain the event loop (returns executed event count).
+  std::size_t run() { return sim_.run(); }
+
+  // ---- Topology ----
+  int computeCount() const noexcept { return static_cast<int>(compute_view_.size()); }
+  int dataCount() const noexcept { return static_cast<int>(data_view_.size()); }
+  int workstationCount() const noexcept { return static_cast<int>(workstations_.size()); }
+  sim::Simulation& sim() noexcept { return sim_; }
+  const sim::CostModel& cost() const noexcept { return config_.cost; }
+  net::Ethernet& ether() noexcept { return ether_; }
+  obj::Runtime& runtime(int compute_idx) { return *compute_view_.at(compute_idx).runtime; }
+  ra::Node& computeNode(int idx) { return *compute_view_.at(idx).node; }
+  ra::Node& dataNode(int idx) { return *data_view_.at(idx).node; }
+  dsm::DsmClientPartition& dsmClient(int idx) { return *compute_view_.at(idx).dsm; }
+  store::DiskStore& store(int idx) { return *data_view_.at(idx).store; }
+  dsm::DsmServer& dsmServer(int idx) { return *data_view_.at(idx).server; }
+  sysobj::NameServer& nameServer() { return *name_server_; }
+  sysobj::Workstation& workstation(int idx) { return *workstations_.at(idx).ws; }
+  net::NodeId workstationId(int idx) const {
+    return workstations_.empty() ? net::kNoNode : workstations_.at(idx).node->id();
+  }
+
+  // ---- Persistence across cluster lifetimes (paper §2.1: objects survive
+  //      "system crashes and shutdowns") ----
+  // Flush every compute server's dirty pages back to the data servers
+  // (s-thread writes live in DSM caches until synced).
+  Result<void> sync();
+  // sync() + snapshot every data server's durable state + the name map into
+  // a directory; a freshly constructed cluster with the same topology and
+  // registered classes resumes from it.
+  Result<void> saveTo(const std::string& directory);
+  Result<void> loadFrom(const std::string& directory);
+
+  // ---- Observability ----
+  struct Stats {
+    std::uint64_t invocations = 0;
+    std::uint64_t remote_invocations = 0;
+    std::uint64_t activations = 0;
+    std::uint64_t tx_retries = 0;
+    std::uint64_t page_faults = 0;       // served by compute-side partitions
+    std::uint64_t frames_on_wire = 0;
+    std::uint64_t bytes_on_wire = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t invalidations = 0;     // DSM coherence callbacks sent
+    std::uint64_t disk_reads = 0;
+    std::uint64_t disk_writes = 0;
+    std::string toString() const;
+  };
+  Stats stats() const;
+
+  // ---- Failure injection (paper §5.2) ----
+  void crashCompute(int idx) { compute_view_.at(idx).node->crash(); }
+  void crashData(int idx) { data_view_.at(idx).node->crash(); }
+  void restartData(int idx) { data_view_.at(idx).node->restart(); }
+  void crashWorkstation(int idx) { workstations_.at(idx).node->crash(); }
+
+ private:
+  struct Machine {  // one physical node, any combination of roles
+    std::unique_ptr<ra::Node> node;
+    // data role
+    std::unique_ptr<store::DiskStore> store;
+    std::unique_ptr<dsm::DsmServer> server;
+    // compute role
+    dsm::DsmClientPartition* dsm = nullptr;  // owned by the node
+    ra::AnonPartition* anon = nullptr;       // owned by the node
+    std::unique_ptr<obj::Runtime> runtime;
+  };
+  struct ComputeView {
+    ra::Node* node;
+    obj::Runtime* runtime;
+    dsm::DsmClientPartition* dsm;
+  };
+  struct DataView {
+    ra::Node* node;
+    store::DiskStore* store;
+    dsm::DsmServer* server;
+  };
+  struct WorkstationNode {
+    std::unique_ptr<ra::Node> node;
+    std::unique_ptr<sysobj::Workstation> ws;
+  };
+
+  Machine makeMachine(net::NodeId id, const std::string& name, bool data_role,
+                      bool compute_role);
+  void finishComputeRole(Machine& m);
+
+  ClusterConfig config_;
+  sim::Simulation sim_;
+  net::Ethernet ether_;
+  obj::ClassRegistry classes_;
+  std::vector<Machine> machines_;
+  std::vector<ComputeView> compute_view_;
+  std::vector<DataView> data_view_;
+  std::vector<WorkstationNode> workstations_;
+  std::unique_ptr<sysobj::NameServer> name_server_;
+};
+
+}  // namespace clouds

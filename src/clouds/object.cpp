@@ -1,0 +1,45 @@
+#include "clouds/object.hpp"
+
+namespace clouds::obj {
+
+Bytes ObjectDescriptor::encode() const {
+  Encoder e;
+  e.u32(0xC10D0B1Eu);  // magic
+  e.str(class_name);
+  e.sysname(code_seg);
+  e.sysname(data_seg);
+  e.sysname(pheap_seg);
+  e.u64(code_size);
+  e.u64(data_size);
+  e.u64(pheap_size);
+  e.u64(vheap_size);
+  return std::move(e).take();
+}
+
+Result<ObjectDescriptor> ObjectDescriptor::decode(ByteSpan page) {
+  Decoder d(page);
+  CLOUDS_TRY_ASSIGN(magic, d.u32());
+  if (magic != 0xC10D0B1Eu) {
+    return makeError(Errc::bad_argument, "not an object header (bad magic)");
+  }
+  ObjectDescriptor desc;
+  CLOUDS_TRY_ASSIGN(class_name, d.str());
+  desc.class_name = std::move(class_name);
+  CLOUDS_TRY_ASSIGN(code_seg, d.sysname());
+  desc.code_seg = code_seg;
+  CLOUDS_TRY_ASSIGN(data_seg, d.sysname());
+  desc.data_seg = data_seg;
+  CLOUDS_TRY_ASSIGN(pheap_seg, d.sysname());
+  desc.pheap_seg = pheap_seg;
+  CLOUDS_TRY_ASSIGN(code_size, d.u64());
+  desc.code_size = code_size;
+  CLOUDS_TRY_ASSIGN(data_size, d.u64());
+  desc.data_size = data_size;
+  CLOUDS_TRY_ASSIGN(pheap_size, d.u64());
+  desc.pheap_size = pheap_size;
+  CLOUDS_TRY_ASSIGN(vheap_size, d.u64());
+  desc.vheap_size = vheap_size;
+  return desc;
+}
+
+}  // namespace clouds::obj

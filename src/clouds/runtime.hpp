@@ -1,0 +1,127 @@
+// The per-compute-server Clouds runtime: the object manager and thread
+// manager system objects (paper §4.2) plus the cp-thread machinery.
+//
+//  * Object manager — creates/deletes objects, activates them (header
+//    fetch, space assembly), and implements invocation: "the stack of the
+//    thread invoking the object is mapped into the same virtual address
+//    space as the object and the thread is allowed to commence execution at
+//    the entry point".
+//  * Thread manager — creation, termination, naming and bookkeeping of
+//    threads, including the remote-invocation service other compute
+//    servers call ("the thread sends an invocation request to B, which
+//    invokes the object O2 and returns the results").
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "clouds/class_registry.hpp"
+#include "clouds/context.hpp"
+#include "clouds/object.hpp"
+#include "clouds/thread.hpp"
+#include "consistency/txn.hpp"
+#include "dsm/client.hpp"
+#include "dsm/sync_client.hpp"
+#include "ra/anon_partition.hpp"
+#include "ra/mmu.hpp"
+#include "ra/node.hpp"
+#include "sysobj/name_server.hpp"
+#include "sysobj/user_io.hpp"
+
+namespace clouds::obj {
+
+struct RuntimeStats {
+  std::uint64_t invocations = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t remote_invocations_served = 0;
+  std::uint64_t tx_retries = 0;
+};
+
+class Runtime {
+ public:
+  Runtime(ra::Node& node, dsm::DsmClientPartition& dsm, ra::AnonPartition& anon,
+          ClassRegistry& classes, net::NodeId name_server);
+
+  ra::Node& node() noexcept { return node_; }
+  sysobj::NameClient& names() noexcept { return names_; }
+  dsm::SyncClient& sync() noexcept { return sync_; }
+  consistency::TxnRuntime& txn() noexcept { return txn_; }
+  const RuntimeStats& stats() const noexcept { return stats_; }
+
+  // ---- Object manager ----
+  // Create an instance of a class on the given data server; runs the class
+  // constructor (if any) on the calling thread, binds user_name (optional).
+  Result<Sysname> createObject(CloudsThread& t, const std::string& class_name,
+                               net::NodeId data_server, const std::string& user_name);
+  Result<void> destroyObject(sim::Process& self, const Sysname& object);
+  // Flush and unmap an activation (used to make invocations cold again).
+  Result<void> deactivateObject(sim::Process& self, const Sysname& object, bool flush = true);
+  bool isActive(const Sysname& object) const { return active_.count(object) != 0; }
+
+  // ---- Invocation ----
+  Result<Value> invoke(CloudsThread& t, const Sysname& object, const std::string& entry,
+                       const ValueList& args);
+  Result<Value> invokeByName(CloudsThread& t, const std::string& object_name,
+                             const std::string& entry, const ValueList& args);
+  Result<Value> invokeRemote(CloudsThread& t, net::NodeId compute_node, const Sysname& object,
+                             const std::string& entry, const ValueList& args);
+
+  // ---- Thread manager ----
+  struct ThreadHandle {
+    bool done = false;
+    Result<Value> result{Value{}};
+    std::uint64_t thread_id = 0;
+    sim::TimePoint completed_at = sim::kZero;  // simulated completion time
+  };
+  // Start a Clouds thread on this node executing object.entry(args);
+  // (workstation, window) is its controlling terminal (kNoNode = none).
+  std::shared_ptr<ThreadHandle> startThread(const Sysname& object, const std::string& entry,
+                                            ValueList args,
+                                            net::NodeId workstation = net::kNoNode,
+                                            sysobj::WindowId window = 0);
+  std::shared_ptr<ThreadHandle> startThreadByName(const std::string& object_name,
+                                                  const std::string& entry, ValueList args,
+                                                  net::NodeId workstation = net::kNoNode,
+                                                  sysobj::WindowId window = 0);
+
+  // Run arbitrary driver code on a fresh Clouds thread on this node (used
+  // by the cluster façade, the shell, and tests).
+  void spawnThread(const std::string& name, std::function<void(CloudsThread&)> body,
+                   net::NodeId workstation = net::kNoNode, sysobj::WindowId window = 0);
+
+  // Resolve a user name to a sysname, applying PET replica selection for
+  // replicated bindings (thread-affine spread; paper §5.2.2).
+  Result<Sysname> resolveTarget(CloudsThread& t, const std::string& name);
+
+  // Threads currently hosted by this node (load metric for scheduling).
+  std::size_t liveThreadCount() const noexcept { return threads_.size(); }
+
+ private:
+  friend class ObjectContext;
+
+  Result<ActiveObject*> activate(sim::Process& self, const Sysname& object);
+  Result<Value> invokeOnce(CloudsThread& t, const Sysname& object, const std::string& entry,
+                           const ValueList& args);
+  Result<Sysname> ensureClassLoaded(sim::Process& self, const ClassDef& def,
+                                    net::NodeId data_server);
+  void bindThreadService();
+  CloudsThread& adoptThread(std::uint64_t id, net::NodeId workstation, sysobj::WindowId window,
+                            sim::Process& proc);
+  void reapThread(CloudsThread& t);
+
+  ra::Node& node_;
+  dsm::DsmClientPartition& dsm_;
+  ra::AnonPartition& anon_;
+  ClassRegistry& classes_;
+  ra::Mmu mmu_;
+  dsm::SyncClient sync_;
+  consistency::TxnRuntime txn_;
+  sysobj::NameClient names_;
+  sysobj::IoClient io_;
+  std::map<Sysname, ActiveObject> active_;
+  std::vector<std::unique_ptr<CloudsThread>> threads_;
+  std::uint64_t next_thread_ = 1;
+  RuntimeStats stats_;
+};
+
+}  // namespace clouds::obj

@@ -1,0 +1,33 @@
+// A library of ready-made Clouds classes.
+//
+// These are the running examples of the paper, written against the public
+// ObjectContext API exactly as a CC++ programmer would write them:
+//
+//  * rectangle — the paper's §2.4 example (size / area).
+//  * counter   — a persistent counter whose add() exists in all three
+//    consistency flavours (S / LCP / GCP, paper §5.2.1).
+//  * bank      — persistent accounts with labelled transfer operations;
+//    the workload for the atomicity tests and the consistency bench.
+//  * file      — the "No Files?" box: byte-sequential storage simulated by
+//    an object with read/write entry points.
+//  * mailbox   — the "No Messages?" box: a buffer object with send/receive
+//    serving as a port between communicating threads.
+//  * sorter    — the §5.1 distributed-programming experiment: data in one
+//    object, sorted by threads on many compute servers via DSM.
+#pragma once
+
+#include "clouds/class_registry.hpp"
+
+namespace clouds::obj::samples {
+
+ClassDef rectangleClass();
+ClassDef counterClass();
+ClassDef bankClass();
+ClassDef fileClass();
+ClassDef mailboxClass();
+ClassDef sorterClass();
+
+// Register every sample class in one go.
+void registerAll(ClassRegistry& registry);
+
+}  // namespace clouds::obj::samples

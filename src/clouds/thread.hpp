@@ -1,0 +1,63 @@
+// Clouds threads (paper §2.2).
+//
+// "The only form of user activity in the Clouds system is the user thread.
+//  A thread is a logical path of execution that executes code in objects,
+//  traversing objects as it executes. Thus unlike a process in a
+//  conventional operating system, a Clouds thread is not bound to a single
+//  address space."
+//
+// A thread is realized as one Clouds process (IsiBa + stack + space) per
+// node it executes on; its logical identity — id, controlling terminal,
+// visited objects, consistency scope — travels with it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "clouds/class_registry.hpp"
+#include "consistency/txn.hpp"
+#include "ra/types.hpp"
+#include "sim/process.hpp"
+#include "sysobj/user_io.hpp"
+
+namespace clouds::obj {
+
+class CloudsThread {
+ public:
+  CloudsThread(std::uint64_t id, net::NodeId workstation, sysobj::WindowId window)
+      : id_(id), workstation_(workstation), window_(window) {}
+
+  std::uint64_t id() const noexcept { return id_; }
+  net::NodeId workstation() const noexcept { return workstation_; }
+  sysobj::WindowId window() const noexcept { return window_; }
+
+  sim::Process* process = nullptr;
+  Sysname stack_seg;  // anonymous; remapped into each object the thread enters
+
+  // Objects the thread is currently executing in, outermost first (the
+  // thread manager's bookkeeping of "the objects it may have visited").
+  std::vector<Sysname> call_stack;
+  // Effective label of each operation on the call stack (S operations under
+  // an open scope run unlocked; the label of the op governs).
+  std::vector<OpLabel> label_stack;
+
+  // Open consistency scope (flat-nested; owned by the outermost cp op).
+  std::optional<consistency::TxScope> scope;
+
+  // Per-thread memory (paper §5.1): one anonymous segment per object this
+  // thread has touched, lasting until the thread terminates.
+  std::map<Sysname, Sysname> thread_local_segs;
+
+  OpLabel currentLabel() const noexcept {
+    return label_stack.empty() ? OpLabel::s : label_stack.back();
+  }
+
+ private:
+  std::uint64_t id_;
+  net::NodeId workstation_;
+  sysobj::WindowId window_;
+};
+
+}  // namespace clouds::obj

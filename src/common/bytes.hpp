@@ -1,0 +1,46 @@
+// Byte-buffer aliases used throughout the Clouds reproduction.
+//
+// All data that crosses an object/address-space boundary (RaTP payloads,
+// page images, invocation parameters) is represented as raw bytes: the paper
+// mandates that "arguments/results are strictly data; they may not be
+// addresses".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace clouds {
+
+using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
+using MutableByteSpan = std::span<std::byte>;
+
+inline Bytes toBytes(std::string_view s) {
+  Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+inline std::string toString(ByteSpan b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+// FNV-1a 64-bit hash; used for trace digests and content checks in tests.
+inline std::uint64_t fnv1a(ByteSpan data, std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::string_view s, std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  return fnv1a(ByteSpan(reinterpret_cast<const std::byte*>(s.data()), s.size()), seed);
+}
+
+}  // namespace clouds

@@ -1,0 +1,24 @@
+#include "common/error.hpp"
+
+namespace clouds {
+
+const char* errcName(Errc e) noexcept {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::timeout: return "timeout";
+    case Errc::unreachable: return "unreachable";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::protection: return "protection";
+    case Errc::aborted: return "aborted";
+    case Errc::deadlock: return "deadlock";
+    case Errc::no_quorum: return "no_quorum";
+    case Errc::bad_argument: return "bad_argument";
+    case Errc::io: return "io";
+    case Errc::killed: return "killed";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace clouds

@@ -1,0 +1,33 @@
+#include "common/sysname.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace clouds {
+
+std::string Sysname::toString() const {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx-%016llx",
+                static_cast<unsigned long long>(hi_), static_cast<unsigned long long>(lo_));
+  return buf;
+}
+
+Sysname Sysname::parse(const std::string& text) {
+  unsigned long long hi = 0;
+  unsigned long long lo = 0;
+  if (std::sscanf(text.c_str(), "%llx-%llx", &hi, &lo) != 2) {
+    throw std::invalid_argument("Sysname::parse: bad format: " + text);
+  }
+  return Sysname(hi, lo);
+}
+
+std::uint64_t SysnameGenerator::mix(std::uint64_t x) noexcept {
+  // splitmix64 finalizer: spreads small seeds over the prefix space.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x = x ^ (x >> 31);
+  return x | 1;  // never zero: a null sysname must stay unused
+}
+
+}  // namespace clouds

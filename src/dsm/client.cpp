@@ -1,0 +1,337 @@
+#include "dsm/client.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "dsm/server.hpp"
+
+namespace clouds::dsm {
+
+DsmClientPartition::DsmClientPartition(ra::Node& node, DsmServer* local_server,
+                                       std::size_t frame_capacity)
+    : node_(node), local_server_(local_server), capacity_(frame_capacity) {
+  bindCallbackService();
+  node_.onCrashHook([this] { loseVolatileState(); });
+  if (local_server_ != nullptr) local_server_->setLocalClient(this);
+}
+
+void DsmClientPartition::loseVolatileState() {
+  frames_.clear();
+  inflight_.clear();
+}
+
+// ---------------------------------------------------------------- fault path
+
+Result<ra::PageHandle> DsmClientPartition::resolvePage(sim::Process& self,
+                                                       const ra::PageKey& key,
+                                                       ra::Access access) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    Frame& f = frames_[key];
+    const bool satisfied =
+        f.state == FState::exclusive || (access == ra::Access::read && f.state == FState::shared);
+    if (satisfied) {
+      ++hits_;
+      f.lru = ++lru_clock_;
+      if (access == ra::Access::write) f.dirty = true;
+      return ra::PageHandle{f.data.data(), f.state == FState::exclusive};
+    }
+    Inflight& inf = inflight_[key];
+    if (inf.busy) {
+      // Another thread is already faulting this page in; join it. Even a
+      // read may need to wait on a write upgrade (and vice versa): after
+      // the wake we simply re-evaluate.
+      inf.waiters.wait(self);
+      continue;
+    }
+    inf.busy = true;
+    auto r = fault(self, key, access);
+    Inflight& inf2 = inflight_[key];  // re-lookup: fault() blocks
+    inf2.busy = false;
+    inf2.waiters.notifyAll();
+    if (inf2.waiters.empty()) inflight_.erase(key);
+    if (!r.ok()) return r.error();
+    // Stale grant or raced invalidation: loop re-checks and refaults.
+  }
+  return makeError(Errc::internal, "resolvePage live-locked on " + key.toString());
+}
+
+Result<bool> DsmClientPartition::fault(sim::Process& self, const ra::PageKey& key,
+                                       ra::Access access) {
+  ++faults_;
+  node_.cpu().compute(self, node_.cost().fault_trap);
+  maybeEvict(self);
+  CLOUDS_TRY_ASSIGN(grant, requestPage(self, key, access));
+  Frame& f = frames_[key];  // re-lookup: requestPage blocked
+  if (grant.version < f.max_seen) {
+    node_.simulation().trace(node_.name(), "dsm",
+                             "stale grant v" + std::to_string(grant.version) + " for " +
+                                 key.toString() + " (seen v" + std::to_string(f.max_seen) + ")");
+    return false;
+  }
+  if (grant.zero_fill) {
+    node_.cpu().compute(self, node_.cost().fault_zero_fill);
+    f.data.assign(ra::kPageSize, std::byte{0});
+  } else {
+    node_.cpu().compute(self, node_.cost().fault_map_frame);
+    f.data = std::move(grant.data);
+  }
+  f.state = access == ra::Access::write ? FState::exclusive : FState::shared;
+  f.dirty = false;
+  f.version = grant.version;
+  f.max_seen = grant.version;
+  f.lru = ++lru_clock_;
+  return true;
+}
+
+Result<PageGrant> DsmClientPartition::requestPage(sim::Process& self, const ra::PageKey& key,
+                                                  ra::Access access) {
+  const net::NodeId home = ra::sysnameHome(key.segment);
+  if (home == node_.id() && local_server_ != nullptr) {
+    node_.cpu().compute(self, node_.cost().syscall);
+    return access == ra::Access::read ? local_server_->handleRead(self, node_.id(), key)
+                                      : local_server_->handleWrite(self, node_.id(), key);
+  }
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(access == ra::Access::read ? Op::read_page : Op::write_page));
+  encodePageKey(e, key);
+  // A fault must outlast the server's coherence-callback patience (the
+  // server may spend ~1 s deciding a slow holder is dead before it can
+  // grant); retransmissions are deduplicated server-side.
+  net::RatpOptions opts;
+  opts.max_retries = node_.cost().dsm_callback_retries + 20;
+  CLOUDS_TRY_ASSIGN(reply,
+                    node_.ratp().transact(self, home, net::kPortDsm, std::move(e).take(), opts));
+  Decoder d(reply);
+  CLOUDS_TRY(decodeStatus(d, "page fault"));
+  return decodeGrant(d);
+}
+
+Result<void> DsmClientPartition::sendWriteBack(sim::Process& self, const ra::PageKey& key,
+                                               const Bytes& data, bool drop) {
+  const net::NodeId home = ra::sysnameHome(key.segment);
+  if (home == node_.id() && local_server_ != nullptr) {
+    node_.cpu().compute(self, node_.cost().syscall);
+    return local_server_->handleWriteBack(self, node_.id(), key, data, drop);
+  }
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(Op::write_back));
+  encodePageKey(e, key);
+  e.boolean(drop);
+  e.bytes(data);
+  CLOUDS_TRY_ASSIGN(reply, node_.ratp().transact(self, home, net::kPortDsm, std::move(e).take()));
+  Decoder d(reply);
+  return decodeStatus(d, "write back");
+}
+
+void DsmClientPartition::maybeEvict(sim::Process& self) {
+  while (frames_.size() >= capacity_) {
+    // Victim: least-recently-used frame with no fault in flight.
+    auto victim = frames_.end();
+    for (auto it = frames_.begin(); it != frames_.end(); ++it) {
+      if (inflight_.count(it->first) != 0) continue;
+      if (victim == frames_.end() || it->second.lru < victim->second.lru) victim = it;
+    }
+    if (victim == frames_.end()) return;  // everything pinned by faults
+    const ra::PageKey key = victim->first;
+    const std::uint64_t version = victim->second.version;
+    if (victim->second.state == FState::exclusive && victim->second.dirty) {
+      const Bytes data = victim->second.data;  // copy: callbacks may race
+      (void)sendWriteBack(self, key, data, /*drop=*/true);
+      // Re-check: an invalidate may have consumed the frame meanwhile.
+      auto it = frames_.find(key);
+      if (it != frames_.end() && it->second.version == version) frames_.erase(it);
+    } else {
+      frames_.erase(victim);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- callbacks
+
+Bytes DsmClientPartition::onInvalidate(const ra::PageKey& key, std::uint64_t version,
+                                       bool* was_dirty) {
+  Frame& f = frames_[key];
+  f.max_seen = std::max(f.max_seen, version);
+  Bytes data;
+  *was_dirty = f.state == FState::exclusive && f.dirty;
+  if (*was_dirty) data = std::move(f.data);
+  f.state = FState::invalid;
+  f.dirty = false;
+  f.data.clear();
+  return data;
+}
+
+Bytes DsmClientPartition::onDegrade(const ra::PageKey& key, std::uint64_t version,
+                                    bool* was_dirty) {
+  Frame& f = frames_[key];
+  f.max_seen = std::max(f.max_seen, version);
+  Bytes data;
+  *was_dirty = f.state == FState::exclusive && f.dirty;
+  if (*was_dirty) data = f.data;  // keep the (now shared, clean) copy
+  if (f.state == FState::exclusive) f.state = FState::shared;
+  f.dirty = false;
+  return data;
+}
+
+void DsmClientPartition::bindCallbackService() {
+  // On a combined compute+data node this binding owns kPortDsm for both
+  // directions: coherence callbacks are handled here, and server ops are
+  // forwarded to the co-located DsmServer (op code spaces are disjoint).
+  node_.ratp().bindService(
+      net::kPortDsm, [this](sim::Process& self, net::NodeId src, const Bytes& request) {
+        Decoder d(request);
+        Encoder reply;
+        auto op = d.u8();
+        if (!op.ok()) {
+          encodeStatus(reply, Errc::bad_argument);
+          return std::move(reply).take();
+        }
+        const Op code = static_cast<Op>(op.value());
+        if (code != Op::invalidate && code != Op::degrade) {
+          if (local_server_ != nullptr) return local_server_->serveDsm(self, src, request);
+          encodeStatus(reply, Errc::bad_argument);
+          return std::move(reply).take();
+        }
+        node_.cpu().compute(self, node_.cost().fault_trap);  // remote shootdown path
+        auto key = decodePageKey(d);
+        auto version = d.u64();
+        if (!key.ok() || !version.ok()) {
+          encodeStatus(reply, Errc::bad_argument);
+          return std::move(reply).take();
+        }
+        bool dirty = false;
+        Bytes data = code == Op::invalidate ? onInvalidate(key.value(), version.value(), &dirty)
+                                            : onDegrade(key.value(), version.value(), &dirty);
+        encodeStatus(reply, Errc::ok);
+        reply.boolean(dirty);
+        if (dirty) reply.bytes(data);
+        return std::move(reply).take();
+      });
+}
+
+// ---------------------------------------------------------------- segment ops
+
+Result<ra::SegmentInfo> DsmClientPartition::stat(sim::Process& self, const Sysname& segment) {
+  const net::NodeId home = ra::sysnameHome(segment);
+  if (home == node_.id() && local_server_ != nullptr) {
+    node_.cpu().compute(self, node_.cost().syscall);
+    return local_server_->handleStat(self, segment);
+  }
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(Op::stat_segment));
+  e.sysname(segment);
+  CLOUDS_TRY_ASSIGN(reply, node_.ratp().transact(self, home, net::kPortDsm, std::move(e).take()));
+  Decoder d(reply);
+  CLOUDS_TRY(decodeStatus(d, "stat"));
+  CLOUDS_TRY_ASSIGN(name, d.sysname());
+  CLOUDS_TRY_ASSIGN(length, d.u64());
+  CLOUDS_TRY_ASSIGN(zf, d.boolean());
+  return ra::SegmentInfo{name, length, zf};
+}
+
+Result<Sysname> DsmClientPartition::createSegment(sim::Process& self, net::NodeId home,
+                                                  std::uint64_t length, bool zero_fill) {
+  if (home == node_.id() && local_server_ != nullptr) {
+    node_.cpu().compute(self, node_.cost().syscall);
+    return local_server_->handleCreate(self, length, zero_fill);
+  }
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(Op::create_segment));
+  e.u64(length);
+  e.boolean(zero_fill);
+  CLOUDS_TRY_ASSIGN(reply, node_.ratp().transact(self, home, net::kPortDsm, std::move(e).take()));
+  Decoder d(reply);
+  CLOUDS_TRY(decodeStatus(d, "create segment"));
+  return d.sysname();
+}
+
+Result<void> DsmClientPartition::adoptSegment(sim::Process& self, const Sysname& name,
+                                              std::uint64_t length, bool zero_fill) {
+  const net::NodeId home = ra::sysnameHome(name);
+  if (home == node_.id() && local_server_ != nullptr) {
+    node_.cpu().compute(self, node_.cost().syscall);
+    return local_server_->handleAdopt(self, name, length, zero_fill);
+  }
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(Op::adopt_segment));
+  e.sysname(name);
+  e.u64(length);
+  e.boolean(zero_fill);
+  CLOUDS_TRY_ASSIGN(reply, node_.ratp().transact(self, home, net::kPortDsm, std::move(e).take()));
+  Decoder d(reply);
+  return decodeStatus(d, "adopt segment");
+}
+
+Result<void> DsmClientPartition::destroySegment(sim::Process& self, const Sysname& name) {
+  dropSegment(name);
+  const net::NodeId home = ra::sysnameHome(name);
+  if (home == node_.id() && local_server_ != nullptr) {
+    node_.cpu().compute(self, node_.cost().syscall);
+    return local_server_->handleDestroy(self, name);
+  }
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(Op::destroy_segment));
+  e.sysname(name);
+  CLOUDS_TRY_ASSIGN(reply, node_.ratp().transact(self, home, net::kPortDsm, std::move(e).take()));
+  Decoder d(reply);
+  return decodeStatus(d, "destroy segment");
+}
+
+// ---------------------------------------------------------------- hooks
+
+Result<void> DsmClientPartition::flushSegment(sim::Process& self, const Sysname& segment) {
+  // Collect first: sendWriteBack blocks, and callbacks may mutate frames_.
+  std::vector<ra::PageKey> dirty;
+  for (const auto& [key, f] : frames_) {
+    if (key.segment == segment && f.state == FState::exclusive && f.dirty) dirty.push_back(key);
+  }
+  for (const ra::PageKey& key : dirty) {
+    auto it = frames_.find(key);
+    if (it == frames_.end() || !it->second.dirty) continue;  // raced a callback
+    const Bytes data = it->second.data;
+    CLOUDS_TRY(sendWriteBack(self, key, data, /*drop=*/false));
+    it = frames_.find(key);
+    if (it != frames_.end() && it->second.state == FState::exclusive) {
+      it->second.state = FState::shared;
+      it->second.dirty = false;
+    }
+  }
+  return okResult();
+}
+
+Result<void> DsmClientPartition::flushAll(sim::Process& self) {
+  std::vector<Sysname> segments;
+  for (const auto& [key, f] : frames_) {
+    if (f.state == FState::exclusive && f.dirty &&
+        (segments.empty() || segments.back() != key.segment)) {
+      segments.push_back(key.segment);
+    }
+  }
+  for (const Sysname& seg : segments) CLOUDS_TRY(flushSegment(self, seg));
+  return okResult();
+}
+
+void DsmClientPartition::dropSegment(const Sysname& segment) {
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    it = it->first.segment == segment ? frames_.erase(it) : std::next(it);
+  }
+}
+
+std::vector<store::PageUpdate> DsmClientPartition::collectDirtyPages(
+    const Sysname& segment) const {
+  std::vector<store::PageUpdate> out;
+  for (const auto& [key, f] : frames_) {
+    if (key.segment == segment && f.state == FState::exclusive && f.dirty) {
+      out.push_back(store::PageUpdate{key, f.data});
+    }
+  }
+  return out;
+}
+
+void DsmClientPartition::markSegmentClean(const Sysname& segment) {
+  for (auto& [key, f] : frames_) {
+    if (key.segment == segment) f.dirty = false;
+  }
+}
+
+}  // namespace clouds::dsm

@@ -1,0 +1,105 @@
+// DSM client partition — the compute-server side of the coherence protocol.
+//
+// This is the Partition the MMU consults for every Clouds segment: a cache
+// of page frames in {invalid | shared | exclusive} states. Misses and write
+// upgrades run the fault path: trap cost, a read_page/write_page
+// transaction to the segment's home data server (short-circuited to a
+// direct call when the segment is homed on this very node), install cost
+// (zero-fill or frame copy), and versioned-grant staleness checks.
+//
+// It also answers the server's invalidate/degrade callbacks, surrendering
+// dirty data, and provides the hooks the consistency layer needs (collect /
+// clean / drop a segment's dirty frames).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "dsm/protocol.hpp"
+#include "ra/node.hpp"
+#include "ra/partition.hpp"
+#include "sim/sync.hpp"
+#include "store/disk_store.hpp"
+
+namespace clouds::dsm {
+
+class DsmServer;
+
+class DsmClientPartition : public ra::Partition {
+ public:
+  // `local_server` is non-null when this node is also a data server; calls
+  // to segments homed here then bypass the network (but not the protocol).
+  DsmClientPartition(ra::Node& node, DsmServer* local_server,
+                     std::size_t frame_capacity = 2048);
+
+  // ---- ra::Partition ----
+  bool serves(const Sysname& segment) const override { return ra::isSegmentName(segment); }
+  Result<ra::PageHandle> resolvePage(sim::Process& self, const ra::PageKey& key,
+                                     ra::Access access) override;
+  Result<ra::SegmentInfo> stat(sim::Process& self, const Sysname& segment) override;
+  Result<void> flushSegment(sim::Process& self, const Sysname& segment) override;
+  // Write back every dirty frame on this node (shutdown / sync path).
+  Result<void> flushAll(sim::Process& self);
+  void dropSegment(const Sysname& segment) override;
+  std::uint64_t faultCount() const override { return faults_; }
+
+  // ---- Segment management (routed to the named data server) ----
+  Result<Sysname> createSegment(sim::Process& self, net::NodeId home, std::uint64_t length,
+                                bool zero_fill = true);
+  Result<void> adoptSegment(sim::Process& self, const Sysname& name, std::uint64_t length,
+                            bool zero_fill = true);
+  Result<void> destroySegment(sim::Process& self, const Sysname& name);
+
+  // ---- Hooks for the consistency layer ----
+  // Dirty exclusive frames of the segment, as page updates (for 2PC).
+  std::vector<store::PageUpdate> collectDirtyPages(const Sysname& segment) const;
+  // Mark the segment's frames clean (after a successful commit).
+  void markSegmentClean(const Sysname& segment);
+
+  // ---- Server -> client coherence callbacks ----
+  // Returns the frame's dirty data when it had any (the server folds it
+  // into the store).
+  Bytes onInvalidate(const ra::PageKey& key, std::uint64_t version, bool* was_dirty);
+  Bytes onDegrade(const ra::PageKey& key, std::uint64_t version, bool* was_dirty);
+
+  // Node-crash hook: every frame is lost.
+  void loseVolatileState();
+
+  std::uint64_t hitCount() const noexcept { return hits_; }
+  std::size_t residentFrames() const noexcept { return frames_.size(); }
+
+ private:
+  enum class FState : std::uint8_t { invalid, shared, exclusive };
+  struct Frame {
+    Bytes data;
+    FState state = FState::invalid;
+    bool dirty = false;
+    std::uint64_t version = 0;   // version of the current grant
+    std::uint64_t max_seen = 0;  // newest version observed (grants + callbacks)
+    std::uint64_t lru = 0;
+  };
+  struct Inflight {
+    bool busy = false;
+    sim::WaitQueue waiters;
+  };
+
+  // One fault: request, staleness check, install. Returns false for a stale
+  // grant (caller retries).
+  Result<bool> fault(sim::Process& self, const ra::PageKey& key, ra::Access access);
+  Result<PageGrant> requestPage(sim::Process& self, const ra::PageKey& key, ra::Access access);
+  Result<void> sendWriteBack(sim::Process& self, const ra::PageKey& key, const Bytes& data,
+                             bool drop);
+  void maybeEvict(sim::Process& self);
+  void bindCallbackService();
+
+  ra::Node& node_;
+  DsmServer* local_server_;
+  std::size_t capacity_;
+  std::map<ra::PageKey, Frame> frames_;
+  std::map<ra::PageKey, Inflight> inflight_;
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace clouds::dsm

@@ -1,0 +1,562 @@
+#include "dsm/server.hpp"
+
+#include <algorithm>
+
+#include "dsm/client.hpp"
+
+namespace clouds::dsm {
+
+namespace {
+// Upper bound on a semaphore P wait at the server; the client's transaction
+// timeout governs the effective user-visible bound.
+constexpr sim::Duration kSemWaitCap = sim::sec(60);
+}  // namespace
+
+DsmServer::DsmServer(ra::Node& node, store::DiskStore& store) : node_(node), store_(store) {
+  bindServices();
+  node_.onCrashHook([this] {
+    loseVolatileState();
+    store_.loseVolatileState();
+  });
+}
+
+void DsmServer::loseVolatileState() {
+  directory_.clear();
+  locks_.clear();
+  semaphores_.clear();
+}
+
+// ---------------------------------------------------------------- coherence
+
+Result<Bytes> DsmServer::callback(sim::Process& self, net::NodeId holder, Op op,
+                                  const ra::PageKey& key, std::uint64_t version) {
+  (op == Op::invalidate ? invalidations_ : degrades_)++;
+  if (holder == node_.id() && local_client_ != nullptr) {
+    node_.cpu().compute(self, node_.cost().syscall);
+    bool dirty = false;
+    Bytes data = op == Op::invalidate ? local_client_->onInvalidate(key, version, &dirty)
+                                      : local_client_->onDegrade(key, version, &dirty);
+    return data;
+  }
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(op));
+  encodePageKey(e, key);
+  e.u64(version);
+  // Callbacks give up well before a waiting fault does, so a dead holder is
+  // declared lost while the faulting client is still patient.
+  net::RatpOptions opts;
+  opts.max_retries = node_.cost().dsm_callback_retries;
+  auto r = node_.ratp().transact(self, holder, net::kPortDsm, std::move(e).take(), opts);
+  if (!r.ok()) {
+    // Holder dead or partitioned: its copy is considered lost (its dirty
+    // data, if any, dies with it — standard s-thread crash semantics).
+    node_.simulation().trace(node_.name(), "dsm",
+                             "callback to node " + std::to_string(holder) + " failed: copy lost");
+    return Bytes{};
+  }
+  Decoder d(r.value());
+  CLOUDS_TRY(decodeStatus(d, "dsm callback"));
+  CLOUDS_TRY_ASSIGN(dirty, d.boolean());
+  if (!dirty) return Bytes{};
+  CLOUDS_TRY_ASSIGN(data, d.bytes());
+  return data;
+}
+
+Result<PageGrant> DsmServer::loadGrant(sim::Process& self, const ra::PageKey& key,
+                                       std::uint64_t version) {
+  PageGrant g;
+  g.version = version;
+  Bytes page(ra::kPageSize);
+  CLOUDS_TRY_ASSIGN(written, store_.readPage(self, key, page));
+  g.zero_fill = !written;
+  if (written) g.data = std::move(page);
+  return g;
+}
+
+Result<PageGrant> DsmServer::handleRead(sim::Process& self, net::NodeId client,
+                                        const ra::PageKey& key) {
+  DirEntry& e = directory_[key];
+  sim::SimLockGuard guard(e.mu, self);
+  node_.cpu().compute(self, node_.cost().dsm_server_lookup);
+  const std::uint64_t v = ++e.version;
+  if (e.state == PState::exclusive) {
+    if (e.owner == client) {
+      // The owner lost its frame (eviction or abort-drop): directory heals.
+      e.state = PState::uncached;
+      e.owner = net::kNoNode;
+      e.copyset.clear();
+    } else {
+      CLOUDS_TRY_ASSIGN(dirty, callback(self, e.owner, Op::degrade, key, v));
+      if (!dirty.empty()) CLOUDS_TRY(store_.writePage(self, key, dirty));
+      e.copyset = {e.owner};
+      e.owner = net::kNoNode;
+      e.state = PState::shared;
+    }
+  }
+  e.copyset.insert(client);
+  e.state = PState::shared;
+  return loadGrant(self, key, v);
+}
+
+Result<PageGrant> DsmServer::handleWrite(sim::Process& self, net::NodeId client,
+                                         const ra::PageKey& key) {
+  DirEntry& e = directory_[key];
+  sim::SimLockGuard guard(e.mu, self);
+  node_.cpu().compute(self, node_.cost().dsm_server_lookup);
+  const std::uint64_t v = ++e.version;
+  if (e.state == PState::exclusive && e.owner != client) {
+    CLOUDS_TRY_ASSIGN(dirty, callback(self, e.owner, Op::invalidate, key, v));
+    if (!dirty.empty()) CLOUDS_TRY(store_.writePage(self, key, dirty));
+  } else if (e.state == PState::shared) {
+    for (net::NodeId holder : e.copyset) {
+      if (holder == client) continue;
+      CLOUDS_TRY_ASSIGN(dirty, callback(self, holder, Op::invalidate, key, v));
+      if (!dirty.empty()) CLOUDS_TRY(store_.writePage(self, key, dirty));
+    }
+  }
+  e.copyset.clear();
+  e.state = PState::exclusive;
+  e.owner = client;
+  return loadGrant(self, key, v);
+}
+
+Result<void> DsmServer::handleWriteBack(sim::Process& self, net::NodeId client,
+                                        const ra::PageKey& key, ByteSpan data, bool drop) {
+  DirEntry& e = directory_[key];
+  sim::SimLockGuard guard(e.mu, self);
+  node_.cpu().compute(self, node_.cost().dsm_server_lookup);
+  if (e.state != PState::exclusive || e.owner != client) {
+    // Stale write-back racing a callback that already collected this data.
+    return okResult();
+  }
+  CLOUDS_TRY(store_.writePage(self, key, data));
+  ++e.version;
+  if (drop) {
+    e.state = PState::uncached;
+    e.owner = net::kNoNode;
+    e.copyset.clear();
+  } else {
+    e.state = PState::shared;
+    e.copyset = {client};
+    e.owner = net::kNoNode;
+  }
+  return okResult();
+}
+
+// ---------------------------------------------------------------- segments
+
+Result<Sysname> DsmServer::handleCreate(sim::Process& self, std::uint64_t length,
+                                        bool zero_fill) {
+  node_.cpu().compute(self, node_.cost().dsm_server_lookup);
+  return store_.createSegment(length, zero_fill);
+}
+
+Result<void> DsmServer::handleAdopt(sim::Process& self, const Sysname& name,
+                                    std::uint64_t length, bool zero_fill) {
+  node_.cpu().compute(self, node_.cost().dsm_server_lookup);
+  return store_.adoptSegment(name, length, zero_fill);
+}
+
+Result<ra::SegmentInfo> DsmServer::handleStat(sim::Process& self, const Sysname& name) {
+  node_.cpu().compute(self, node_.cost().dsm_server_lookup);
+  return store_.stat(name);
+}
+
+Result<void> DsmServer::handleDestroy(sim::Process& self, const Sysname& name) {
+  node_.cpu().compute(self, node_.cost().dsm_server_lookup);
+  // Drop directory state; cached copies elsewhere die on their own (any
+  // later fault fails with not_found).
+  for (auto it = directory_.begin(); it != directory_.end();) {
+    it = it->first.segment == name ? directory_.erase(it) : std::next(it);
+  }
+  return store_.destroySegment(name);
+}
+
+// ---------------------------------------------------------------- locks
+
+Result<void> DsmServer::handleLock(sim::Process& self, const Sysname& segment, LockMode mode,
+                                   std::uint64_t owner) {
+  node_.cpu().compute(self, node_.cost().lock_service);
+  LockEntry& l = locks_[segment];
+  const sim::TimePoint deadline = node_.simulation().now() + node_.cost().lock_wait_timeout;
+  for (;;) {
+    // Expire leases of holders that died without unlocking.
+    const sim::TimePoint expiry_cutoff = node_.simulation().now() - node_.cost().lock_lease_ttl;
+    for (auto it = l.granted_at.begin(); it != l.granted_at.end();) {
+      if (it->second <= expiry_cutoff) {
+        if (l.writer == it->first) l.writer = 0;
+        l.readers.erase(it->first);
+        node_.simulation().trace(node_.name(), "lock",
+                                 "lease of owner " + std::to_string(it->first) + " on " +
+                                     segment.toString() + " expired");
+        it = l.granted_at.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // A stranded upgrade slot (its worker died) expires like a lease.
+    if (l.upgrade_waiter != 0 &&
+        node_.simulation().now() - l.upgrade_since > 2 * node_.cost().lock_wait_timeout) {
+      l.upgrade_waiter = 0;
+    }
+    const bool held_shared = l.readers.count(owner) != 0;
+    if (mode == LockMode::shared) {
+      // New shared admissions yield to a pending upgrade (else it starves).
+      const bool upgrade_blocks =
+          l.upgrade_waiter != 0 && l.upgrade_waiter != owner && !held_shared;
+      if ((l.writer == 0 || l.writer == owner) && !upgrade_blocks) {
+        l.readers.insert(owner);
+        l.granted_at[owner] = node_.simulation().now();
+        return okResult();
+      }
+    } else {
+      if (l.upgrade_waiter != 0 && l.upgrade_waiter != owner && held_shared) {
+        // Two readers racing to upgrade: deadlock by construction. Wound
+        // this one immediately; its abort releases the shared hold and the
+        // slot holder proceeds.
+        return makeError(Errc::deadlock,
+                         "upgrade conflict on " + segment.toString() + " (wounded)");
+      }
+      const bool no_other_readers =
+          l.readers.empty() || (l.readers.size() == 1 && held_shared);
+      if ((l.writer == 0 || l.writer == owner) && no_other_readers) {
+        if (l.upgrade_waiter == owner) l.upgrade_waiter = 0;
+        l.writer = owner;
+        l.readers.erase(owner);  // upgrade folds the shared hold
+        l.granted_at[owner] = node_.simulation().now();
+        return okResult();
+      }
+      if (held_shared && l.upgrade_waiter == 0) {
+        l.upgrade_waiter = owner;  // claim the upgrade slot and wait
+        l.upgrade_since = node_.simulation().now();
+      }
+    }
+    const sim::Duration remaining = deadline - node_.simulation().now();
+    if (remaining <= sim::kZero || !l.queue.waitFor(self, remaining)) {
+      if (node_.simulation().now() >= deadline) {
+        if (l.upgrade_waiter == owner) l.upgrade_waiter = 0;
+        // Deadlock-avoidance policy: bounded wait, then the requester
+        // aborts and retries (paper-era wound/wait stand-in).
+        return makeError(Errc::deadlock, "lock wait timed out on " + segment.toString());
+      }
+    }
+  }
+}
+
+Result<void> DsmServer::handleUnlockAll(sim::Process& self, std::uint64_t owner) {
+  node_.cpu().compute(self, node_.cost().lock_service);
+  for (auto& [seg, l] : locks_) {
+    bool changed = false;
+    if (l.writer == owner) {
+      l.writer = 0;
+      changed = true;
+    }
+    changed |= l.readers.erase(owner) > 0;
+    l.granted_at.erase(owner);
+    if (changed) l.queue.notifyAll();
+  }
+  return okResult();
+}
+
+// ---------------------------------------------------------------- semaphores
+
+Result<std::uint64_t> DsmServer::handleSemCreate(sim::Process& self, std::int64_t initial) {
+  node_.cpu().compute(self, node_.cost().lock_service);
+  const std::uint64_t id = (static_cast<std::uint64_t>(node_.id()) << 32) | next_sem_++;
+  semaphores_[id].count = initial;
+  return id;
+}
+
+Result<void> DsmServer::handleSemP(sim::Process& self, std::uint64_t sem) {
+  node_.cpu().compute(self, node_.cost().lock_service);
+  auto it = semaphores_.find(sem);
+  if (it == semaphores_.end()) return makeError(Errc::not_found, "no such semaphore");
+  SemEntry& s = it->second;
+  const sim::TimePoint deadline = node_.simulation().now() + kSemWaitCap;
+  while (s.count <= 0) {
+    const sim::Duration remaining = deadline - node_.simulation().now();
+    if (remaining <= sim::kZero) return makeError(Errc::timeout, "semaphore P wait capped");
+    (void)s.queue.waitFor(self, remaining);
+  }
+  --s.count;
+  return okResult();
+}
+
+Result<void> DsmServer::handleSemV(sim::Process& self, std::uint64_t sem) {
+  node_.cpu().compute(self, node_.cost().lock_service);
+  auto it = semaphores_.find(sem);
+  if (it == semaphores_.end()) return makeError(Errc::not_found, "no such semaphore");
+  ++it->second.count;
+  it->second.queue.notifyOne();
+  return okResult();
+}
+
+// ---------------------------------------------------------------- 2PC
+
+Result<void> DsmServer::handlePrepare(sim::Process& self, std::uint64_t txid,
+                                      std::vector<store::PageUpdate> updates) {
+  node_.cpu().compute(self, node_.cost().dsm_server_lookup);
+  return store_.prepare(self, txid, std::move(updates));
+}
+
+Result<void> DsmServer::handleCommit(sim::Process& self, net::NodeId committer,
+                                     std::uint64_t txid) {
+  node_.cpu().compute(self, node_.cost().dsm_server_lookup);
+  const std::vector<ra::PageKey> pages = store_.preparedKeys(txid);
+  CLOUDS_TRY(store_.commitPrepared(self, txid));
+  // Coherence: the committed images supersede every cached copy except the
+  // committing client's own exclusive frames (which hold the same bytes).
+  for (const ra::PageKey& key : pages) {
+    DirEntry& e = directory_[key];
+    sim::SimLockGuard guard(e.mu, self);
+    const std::uint64_t v = ++e.version;
+    if (e.state == PState::exclusive && e.owner != committer) {
+      (void)callback(self, e.owner, Op::invalidate, key, v);  // dirty losers discarded
+      e.state = PState::uncached;
+      e.owner = net::kNoNode;
+    } else if (e.state == PState::shared) {
+      for (net::NodeId holder : e.copyset) {
+        if (holder == committer) continue;
+        (void)callback(self, holder, Op::invalidate, key, v);
+      }
+      const bool committer_had_copy = e.copyset.count(committer) != 0;
+      e.copyset.clear();
+      if (committer_had_copy) {
+        e.copyset.insert(committer);
+      } else {
+        e.state = PState::uncached;
+      }
+    }
+  }
+  return okResult();
+}
+
+Result<void> DsmServer::handleAbort(sim::Process& self, std::uint64_t txid) {
+  node_.cpu().compute(self, node_.cost().dsm_server_lookup);
+  return store_.abortPrepared(self, txid);
+}
+
+// ---------------------------------------------------------------- services
+
+Bytes DsmServer::serveDsm(sim::Process& self, net::NodeId client, const Bytes& request) {
+  Decoder d(request);
+  Encoder reply;
+  auto op = d.u8();
+  if (!op.ok()) {
+    encodeStatus(reply, Errc::bad_argument);
+    return std::move(reply).take();
+  }
+  switch (static_cast<Op>(op.value())) {
+    case Op::read_page:
+    case Op::write_page: {
+      auto key = decodePageKey(d);
+      if (!key.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      auto grant = static_cast<Op>(op.value()) == Op::read_page
+                       ? handleRead(self, client, key.value())
+                       : handleWrite(self, client, key.value());
+      if (!grant.ok()) {
+        encodeStatus(reply, grant.error().code);
+        break;
+      }
+      encodeStatus(reply, Errc::ok);
+      encodeGrant(reply, grant.value());
+      break;
+    }
+    case Op::write_back: {
+      auto key = decodePageKey(d);
+      auto drop = d.boolean();
+      auto data = d.bytes();
+      if (!key.ok() || !drop.ok() || !data.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      auto r = handleWriteBack(self, client, key.value(), data.value(), drop.value());
+      encodeStatus(reply, r.code());
+      break;
+    }
+    case Op::create_segment: {
+      auto length = d.u64();
+      auto zf = d.boolean();
+      if (!length.ok() || !zf.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      auto r = handleCreate(self, length.value(), zf.value());
+      encodeStatus(reply, r.code());
+      if (r.ok()) reply.sysname(r.value());
+      break;
+    }
+    case Op::adopt_segment: {
+      auto name = d.sysname();
+      auto length = d.u64();
+      auto zf = d.boolean();
+      if (!name.ok() || !length.ok() || !zf.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      auto r = handleAdopt(self, name.value(), length.value(), zf.value());
+      encodeStatus(reply, r.code());
+      break;
+    }
+    case Op::stat_segment: {
+      auto name = d.sysname();
+      if (!name.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      auto r = handleStat(self, name.value());
+      encodeStatus(reply, r.code());
+      if (r.ok()) {
+        reply.sysname(r.value().name);
+        reply.u64(r.value().length);
+        reply.boolean(r.value().zero_fill);
+      }
+      break;
+    }
+    case Op::destroy_segment: {
+      auto name = d.sysname();
+      if (!name.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      encodeStatus(reply, handleDestroy(self, name.value()).code());
+      break;
+    }
+    default:
+      encodeStatus(reply, Errc::bad_argument);
+  }
+  return std::move(reply).take();
+}
+
+Bytes DsmServer::serveLock(sim::Process& self, net::NodeId client, const Bytes& request) {
+  (void)client;
+  Decoder d(request);
+  Encoder reply;
+  auto op = d.u8();
+  if (!op.ok()) {
+    encodeStatus(reply, Errc::bad_argument);
+    return std::move(reply).take();
+  }
+  switch (static_cast<Op>(op.value())) {
+    case Op::lock: {
+      auto seg = d.sysname();
+      auto mode = d.u8();
+      auto owner = d.u64();
+      if (!seg.ok() || !mode.ok() || !owner.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      encodeStatus(reply, handleLock(self, seg.value(), static_cast<LockMode>(mode.value()),
+                                     owner.value())
+                              .code());
+      break;
+    }
+    case Op::unlock_all: {
+      auto owner = d.u64();
+      if (!owner.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      encodeStatus(reply, handleUnlockAll(self, owner.value()).code());
+      break;
+    }
+    case Op::sem_create: {
+      auto init = d.i64();
+      if (!init.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      auto r = handleSemCreate(self, init.value());
+      encodeStatus(reply, r.code());
+      if (r.ok()) reply.u64(r.value());
+      break;
+    }
+    case Op::sem_p: {
+      auto sem = d.u64();
+      if (!sem.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      encodeStatus(reply, handleSemP(self, sem.value()).code());
+      break;
+    }
+    case Op::sem_v: {
+      auto sem = d.u64();
+      if (!sem.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      encodeStatus(reply, handleSemV(self, sem.value()).code());
+      break;
+    }
+    default:
+      encodeStatus(reply, Errc::bad_argument);
+  }
+  return std::move(reply).take();
+}
+
+Bytes DsmServer::serveCommit(sim::Process& self, net::NodeId client, const Bytes& request) {
+  Decoder d(request);
+  Encoder reply;
+  auto op = d.u8();
+  auto txid = d.u64();
+  if (!op.ok() || !txid.ok()) {
+    encodeStatus(reply, Errc::bad_argument);
+    return std::move(reply).take();
+  }
+  switch (static_cast<Op>(op.value())) {
+    case Op::tx_prepare: {
+      auto count = d.u32();
+      if (!count.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      std::vector<store::PageUpdate> updates;
+      bool bad = false;
+      for (std::uint32_t i = 0; i < count.value() && !bad; ++i) {
+        auto key = decodePageKey(d);
+        auto data = d.bytes();
+        if (!key.ok() || !data.ok()) {
+          bad = true;
+          break;
+        }
+        updates.push_back(store::PageUpdate{key.value(), std::move(data).value()});
+      }
+      if (bad) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      encodeStatus(reply, handlePrepare(self, txid.value(), std::move(updates)).code());
+      break;
+    }
+    case Op::tx_commit:
+      encodeStatus(reply, handleCommit(self, client, txid.value()).code());
+      break;
+    case Op::tx_abort:
+      encodeStatus(reply, handleAbort(self, txid.value()).code());
+      break;
+    default:
+      encodeStatus(reply, Errc::bad_argument);
+  }
+  return std::move(reply).take();
+}
+
+void DsmServer::bindServices() {
+  node_.ratp().bindService(net::kPortDsm,
+                           [this](sim::Process& self, net::NodeId client, const Bytes& req) {
+                             return serveDsm(self, client, req);
+                           });
+  node_.ratp().bindService(net::kPortLock,
+                           [this](sim::Process& self, net::NodeId client, const Bytes& req) {
+                             return serveLock(self, client, req);
+                           });
+  node_.ratp().bindService(net::kPortCommit,
+                           [this](sim::Process& self, net::NodeId client, const Bytes& req) {
+                             return serveCommit(self, client, req);
+                           });
+}
+
+}  // namespace clouds::dsm

@@ -1,0 +1,98 @@
+#include "dsm/sync_client.hpp"
+
+#include "dsm/server.hpp"
+
+namespace clouds::dsm {
+
+namespace {
+// Lock and semaphore waits block server-side, so the per-attempt timeout
+// must exceed the server's own wait bound. Retransmitted requests are
+// deduplicated by RaTP's reply cache (the handler keeps waiting; it is
+// never re-executed), so retries only guard against lost frames.
+constexpr sim::Duration kLockCallTimeout = sim::msec(600);
+constexpr sim::Duration kSemCallTimeout = sim::sec(2);
+constexpr int kSemRetries = 45;  // ~90 s total patience for a P()
+}  // namespace
+
+Result<Bytes> SyncClient::call(sim::Process& self, net::NodeId server, const Bytes& request,
+                               sim::Duration timeout) {
+  net::RatpOptions opts;
+  opts.timeout = timeout;
+  opts.max_retries = timeout == kSemCallTimeout ? kSemRetries : 3;
+  return node_.ratp().transact(self, server, net::kPortLock, request, opts);
+}
+
+Result<void> SyncClient::lock(sim::Process& self, const Sysname& segment, LockMode mode,
+                              std::uint64_t owner) {
+  const net::NodeId server = ra::sysnameHome(segment);
+  if (server == node_.id() && local_server_ != nullptr) {
+    node_.cpu().compute(self, node_.cost().syscall);
+    return local_server_->handleLock(self, segment, mode, owner);
+  }
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(Op::lock));
+  e.sysname(segment);
+  e.u8(static_cast<std::uint8_t>(mode));
+  e.u64(owner);
+  CLOUDS_TRY_ASSIGN(reply, call(self, server, std::move(e).take(), kLockCallTimeout));
+  Decoder d(reply);
+  return decodeStatus(d, "lock");
+}
+
+Result<void> SyncClient::unlockAll(sim::Process& self, net::NodeId server, std::uint64_t owner) {
+  if (server == node_.id() && local_server_ != nullptr) {
+    node_.cpu().compute(self, node_.cost().syscall);
+    return local_server_->handleUnlockAll(self, owner);
+  }
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(Op::unlock_all));
+  e.u64(owner);
+  CLOUDS_TRY_ASSIGN(reply, call(self, server, std::move(e).take(), kLockCallTimeout));
+  Decoder d(reply);
+  return decodeStatus(d, "unlock_all");
+}
+
+Result<std::uint64_t> SyncClient::semCreate(sim::Process& self, net::NodeId server,
+                                            std::int64_t initial) {
+  if (server == node_.id() && local_server_ != nullptr) {
+    node_.cpu().compute(self, node_.cost().syscall);
+    return local_server_->handleSemCreate(self, initial);
+  }
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(Op::sem_create));
+  e.i64(initial);
+  CLOUDS_TRY_ASSIGN(reply, call(self, server, std::move(e).take(), kLockCallTimeout));
+  Decoder d(reply);
+  CLOUDS_TRY(decodeStatus(d, "sem_create"));
+  return d.u64();
+}
+
+Result<void> SyncClient::semP(sim::Process& self, std::uint64_t sem) {
+  const auto server = static_cast<net::NodeId>(sem >> 32);
+  if (server == node_.id() && local_server_ != nullptr) {
+    node_.cpu().compute(self, node_.cost().syscall);
+    return local_server_->handleSemP(self, sem);
+  }
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(Op::sem_p));
+  e.u64(sem);
+  CLOUDS_TRY_ASSIGN(reply, call(self, server, std::move(e).take(), kSemCallTimeout));
+  Decoder d(reply);
+  return decodeStatus(d, "sem_p");
+}
+
+Result<void> SyncClient::semV(sim::Process& self, std::uint64_t sem) {
+  const auto server = static_cast<net::NodeId>(sem >> 32);
+  if (server == node_.id() && local_server_ != nullptr) {
+    node_.cpu().compute(self, node_.cost().syscall);
+    return local_server_->handleSemV(self, sem);
+  }
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(Op::sem_v));
+  e.u64(sem);
+  CLOUDS_TRY_ASSIGN(reply, call(self, server, std::move(e).take(), kSemCallTimeout));
+  Decoder d(reply);
+  return decodeStatus(d, "sem_v");
+}
+
+}  // namespace clouds::dsm

@@ -1,0 +1,39 @@
+// Client stubs for the data servers' synchronization services (paper §3.2:
+// "The synchronization support provided by data servers allows threads to
+// synchronize their actions regardless of where they execute").
+//
+// Segment locks are addressed to the segment's home data server; semaphore
+// ids embed their home server in the upper 32 bits.
+#pragma once
+
+#include "dsm/protocol.hpp"
+#include "ra/node.hpp"
+
+namespace clouds::dsm {
+
+class DsmServer;
+
+class SyncClient {
+ public:
+  SyncClient(ra::Node& node, DsmServer* local_server)
+      : node_(node), local_server_(local_server) {}
+
+  // Blocking lock on a segment; Errc::deadlock after the bounded wait.
+  Result<void> lock(sim::Process& self, const Sysname& segment, LockMode mode,
+                    std::uint64_t owner);
+  // Release everything `owner` holds on the given data server.
+  Result<void> unlockAll(sim::Process& self, net::NodeId server, std::uint64_t owner);
+
+  Result<std::uint64_t> semCreate(sim::Process& self, net::NodeId server, std::int64_t initial);
+  Result<void> semP(sim::Process& self, std::uint64_t sem);
+  Result<void> semV(sim::Process& self, std::uint64_t sem);
+
+ private:
+  Result<Bytes> call(sim::Process& self, net::NodeId server, const Bytes& request,
+                     sim::Duration timeout);
+
+  ra::Node& node_;
+  DsmServer* local_server_;
+};
+
+}  // namespace clouds::dsm

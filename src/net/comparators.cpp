@@ -1,0 +1,264 @@
+#include "net/comparators.hpp"
+
+#include <algorithm>
+
+namespace clouds::net {
+
+namespace {
+
+enum class NfsMsg : std::uint8_t { read_req = 1, read_data = 2 };
+enum class FtpMsg : std::uint8_t { syn = 1, synack = 2, get = 3, data = 4, ack = 5, fin = 6 };
+
+constexpr std::size_t kUdpHeader = 1 + 4 + 2 + 2 + 4;  // type xid idx cnt len
+constexpr sim::Duration kCompareTimeout = sim::sec(10);
+
+}  // namespace
+
+// ---------------------------------------------------------------- NfsSim
+
+NfsSim::NfsSim(Nic& nic, std::string name) : nic_(nic), name_(std::move(name)) {
+  nic_.setHandler(kProtoUnixUdp,
+                  [this](sim::Process& self, const Frame& f) { onFrame(self, f); });
+}
+
+Result<Bytes> NfsSim::read(sim::Process& self, NodeId server, std::uint64_t file_id,
+                           std::uint64_t offset, std::uint32_t length) {
+  const auto& cost = nic_.network().cost();
+  const std::uint32_t xid = next_xid_++;
+  PendingRead& pr = pending_[xid];
+  pr.waiter = &self;
+  pr.expected = length;
+
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(NfsMsg::read_req));
+  e.u32(xid);
+  e.u64(file_id);
+  e.u64(offset);
+  e.u32(length);
+  nic_.cpu().compute(self, cost.unix_udp_cpu_packet);
+  nic_.send(self, Frame{kNoNode, server, kProtoUnixUdp, std::move(e).take()});
+
+  const sim::TimePoint deadline = nic_.network().simulation().now() + kCompareTimeout;
+  while (!pr.complete && nic_.network().simulation().now() < deadline) {
+    (void)self.blockFor(deadline - nic_.network().simulation().now());
+  }
+  Bytes data = std::move(pr.data);
+  const bool complete = pr.complete;
+  pending_.erase(xid);
+  if (!complete) return makeError(Errc::timeout, name_ + ": NFS read timed out");
+  return data;
+}
+
+void NfsSim::onFrame(sim::Process& self, const Frame& frame) {
+  const auto& cost = nic_.network().cost();
+  Decoder d(frame.payload);
+  auto type = d.u8();
+  if (!type.ok()) return;
+  switch (static_cast<NfsMsg>(type.value())) {
+    case NfsMsg::read_req: {
+      auto xid = d.u32();
+      auto file = d.u64();
+      auto offset = d.u64();
+      auto length = d.u32();
+      if (!xid.ok() || !file.ok() || !offset.ok() || !length.ok() || !reader_) return;
+      // nfsd path: UDP receive + RPC/XDR decode + synchronous file access.
+      nic_.cpu().compute(self, cost.unix_udp_cpu_packet + cost.nfs_rpc_overhead);
+      self.delay(cost.nfs_file_access);
+      Bytes data = reader_(file.value(), offset.value(), length.value());
+      // Reply datagram, IP-fragmented onto the wire.
+      const std::size_t capacity = cost.eth_mtu - kUdpHeader;
+      const auto count = static_cast<std::uint16_t>(
+          std::max<std::size_t>(1, (data.size() + capacity - 1) / capacity));
+      for (std::uint16_t i = 0; i < count; ++i) {
+        const std::size_t off = static_cast<std::size_t>(i) * capacity;
+        const std::size_t len = std::min(capacity, data.size() - off);
+        Encoder e;
+        e.u8(static_cast<std::uint8_t>(NfsMsg::read_data));
+        e.u32(xid.value());
+        e.u16(i);
+        e.u16(count);
+        e.bytes(ByteSpan(data.data() + off, len));
+        nic_.cpu().compute(self, cost.unix_udp_cpu_packet);
+        nic_.send(self, Frame{kNoNode, frame.src, kProtoUnixUdp, std::move(e).take()});
+      }
+      break;
+    }
+    case NfsMsg::read_data: {
+      auto xid = d.u32();
+      auto idx = d.u16();
+      auto cnt = d.u16();
+      auto data = d.bytes();
+      if (!xid.ok() || !idx.ok() || !cnt.ok() || !data.ok()) return;
+      nic_.cpu().compute(self, cost.unix_udp_cpu_packet);
+      auto it = pending_.find(xid.value());
+      if (it == pending_.end()) return;
+      PendingRead& pr = it->second;
+      pr.data.insert(pr.data.end(), data.value().begin(), data.value().end());
+      if (idx.value() + 1 == cnt.value()) {
+        pr.complete = true;
+        pr.waiter->wake();
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- FtpSim
+
+FtpSim::FtpSim(Nic& nic, std::string name) : nic_(nic), name_(std::move(name)) {
+  nic_.setHandler(kProtoUnixTcp,
+                  [this](sim::Process& self, const Frame& f) { onFrame(self, f); });
+}
+
+Result<Bytes> FtpSim::retrieve(sim::Process& self, NodeId server, std::uint64_t file_id,
+                               std::uint32_t length) {
+  const auto& cost = nic_.network().cost();
+  const std::uint32_t conn = next_conn_++;
+  Transfer& t = transfers_[conn];
+  t.waiter = &self;
+
+  auto sendCtl = [&](FtpMsg msg, sim::Duration cpu, auto encodeExtra) {
+    Encoder e;
+    e.u8(static_cast<std::uint8_t>(msg));
+    e.u32(conn);
+    encodeExtra(e);
+    nic_.cpu().compute(self, cpu);
+    nic_.send(self, Frame{kNoNode, server, kProtoUnixTcp, std::move(e).take()});
+  };
+
+  const sim::TimePoint deadline = nic_.network().simulation().now() + kCompareTimeout;
+  auto waitFor = [&](bool& flag) {
+    while (!flag && nic_.network().simulation().now() < deadline) {
+      (void)self.blockFor(deadline - nic_.network().simulation().now());
+    }
+    return flag;
+  };
+
+  // Connection establishment (handshake; server pays fork + setup on SYN).
+  sendCtl(FtpMsg::syn, cost.unix_tcp_cpu_packet, [](Encoder&) {});
+  if (!waitFor(t.connected)) {
+    transfers_.erase(conn);
+    return makeError(Errc::timeout, name_ + ": FTP connect timed out");
+  }
+  // Request the file; data arrives stop-and-wait, acked per segment by the
+  // client-side frame handler.
+  sendCtl(FtpMsg::get, cost.unix_tcp_cpu_packet, [&](Encoder& e) {
+    e.u64(file_id);
+    e.u32(length);
+  });
+  const bool ok = waitFor(t.complete);
+  Bytes data = std::move(t.data);
+  transfers_.erase(conn);
+  if (!ok) return makeError(Errc::timeout, name_ + ": FTP transfer timed out");
+  return data;
+}
+
+void FtpSim::onFrame(sim::Process& self, const Frame& frame) {
+  const auto& cost = nic_.network().cost();
+  Decoder d(frame.payload);
+  auto type = d.u8();
+  auto conn = d.u32();
+  if (!type.ok() || !conn.ok()) return;
+  switch (static_cast<FtpMsg>(type.value())) {
+    case FtpMsg::syn: {
+      // Server: accept + fork the data-transfer daughter process.
+      nic_.cpu().compute(self, cost.unix_tcp_cpu_packet);
+      self.delay(cost.ftp_connection_setup);
+      Encoder e;
+      e.u8(static_cast<std::uint8_t>(FtpMsg::synack));
+      e.u32(conn.value());
+      nic_.cpu().compute(self, cost.unix_tcp_cpu_packet);
+      nic_.send(self, Frame{kNoNode, frame.src, kProtoUnixTcp, std::move(e).take()});
+      break;
+    }
+    case FtpMsg::synack: {
+      nic_.cpu().compute(self, cost.unix_tcp_cpu_packet);
+      auto it = transfers_.find(conn.value());
+      if (it == transfers_.end()) return;
+      it->second.connected = true;
+      it->second.waiter->wake();
+      break;
+    }
+    case FtpMsg::get: {
+      auto file = d.u64();
+      auto length = d.u32();
+      if (!file.ok() || !length.ok() || !reader_) return;
+      nic_.cpu().compute(self, cost.unix_tcp_cpu_packet);
+      Bytes data = reader_(file.value(), 0, length.value());
+      // The forked server process runs the stop-and-wait transfer so the
+      // NIC receive path stays free to process the client's ACKs.
+      const NodeId client = frame.src;
+      const std::uint32_t c = conn.value();
+      Transfer& st = transfers_[c];  // server-side bookkeeping for ACK waits
+      st.connected = true;
+      nic_.network().simulation().spawn(
+          name_ + ".ftpd" + std::to_string(c),
+          [this, c, client, data = std::move(data)](sim::Process& sender) {
+            const auto& cm = nic_.network().cost();
+            const std::size_t capacity = cm.eth_mtu - 64;  // TCP/IP header allowance
+            const std::size_t count =
+                std::max<std::size_t>(1, (data.size() + capacity - 1) / capacity);
+            for (std::size_t i = 0; i < count; ++i) {
+              const std::size_t off = i * capacity;
+              const std::size_t len = std::min(capacity, data.size() - off);
+              Encoder e;
+              e.u8(static_cast<std::uint8_t>(FtpMsg::data));
+              e.u32(c);
+              e.u16(static_cast<std::uint16_t>(i));
+              e.u16(static_cast<std::uint16_t>(count));
+              e.bytes(ByteSpan(data.data() + off, len));
+              Transfer& t = transfers_[c];
+              t.waiter = &sender;
+              t.segment_acked = false;
+              nic_.cpu().compute(sender, cm.unix_tcp_cpu_packet + cm.ftp_per_block_overhead);
+              nic_.send(sender, Frame{kNoNode, client, kProtoUnixTcp, std::move(e).take()});
+              // Stop-and-wait: block until the client's ACK.
+              while (!transfers_[c].segment_acked) {
+                if (!sender.blockFor(kCompareTimeout)) break;
+              }
+            }
+            Encoder fin;
+            fin.u8(static_cast<std::uint8_t>(FtpMsg::fin));
+            fin.u32(c);
+            nic_.cpu().compute(sender, cm.unix_tcp_cpu_packet);
+            nic_.send(sender, Frame{kNoNode, client, kProtoUnixTcp, std::move(fin).take()});
+            transfers_.erase(c);
+          });
+      break;
+    }
+    case FtpMsg::data: {
+      auto idx = d.u16();
+      auto cnt = d.u16();
+      auto data = d.bytes();
+      if (!idx.ok() || !cnt.ok() || !data.ok()) return;
+      nic_.cpu().compute(self, cost.unix_tcp_cpu_packet);
+      auto it = transfers_.find(conn.value());
+      if (it == transfers_.end()) return;
+      it->second.data.insert(it->second.data.end(), data.value().begin(), data.value().end());
+      Encoder e;
+      e.u8(static_cast<std::uint8_t>(FtpMsg::ack));
+      e.u32(conn.value());
+      nic_.cpu().compute(self, cost.unix_ack_cpu);
+      nic_.send(self, Frame{kNoNode, frame.src, kProtoUnixTcp, std::move(e).take()});
+      break;
+    }
+    case FtpMsg::ack: {
+      nic_.cpu().compute(self, cost.unix_ack_cpu);
+      auto it = transfers_.find(conn.value());
+      if (it == transfers_.end()) return;
+      it->second.segment_acked = true;
+      if (it->second.waiter != nullptr) it->second.waiter->wake();
+      break;
+    }
+    case FtpMsg::fin: {
+      nic_.cpu().compute(self, cost.unix_tcp_cpu_packet);
+      auto it = transfers_.find(conn.value());
+      if (it == transfers_.end()) return;
+      it->second.complete = true;
+      it->second.waiter->wake();
+      break;
+    }
+  }
+}
+
+}  // namespace clouds::net

@@ -1,0 +1,128 @@
+#include "net/ethernet.hpp"
+
+#include <stdexcept>
+
+namespace clouds::net {
+
+// ---- Nic ----
+
+Nic::Nic(Ethernet& ether, NodeId addr, sim::CpuResource& cpu, std::string name)
+    : ether_(ether), addr_(addr), cpu_(cpu), name_(std::move(name)) {
+  spawnRxProcess();
+}
+
+void Nic::spawnRxProcess() {
+  // The receive process models the interrupt + protocol-dispatch path: it
+  // serializes per-frame receive work on this node.
+  rx_process_ = &ether_.simulation().spawn(name_ + ".nicrx", [this](sim::Process& self) {
+    for (;;) {
+      while (rx_queue_.empty()) self.block();
+      Frame frame = std::move(rx_queue_.front());
+      rx_queue_.pop_front();
+      if (!up_) continue;  // interface went down with frames queued
+      cpu_.compute(self, ether_.cost().eth_cpu_recv);
+      ++received_;
+      auto it = handlers_.find(frame.protocol);
+      if (it != handlers_.end()) {
+        it->second(self, frame);
+      } else {
+        ether_.simulation().trace(name_, "eth", "dropped frame with unbound protocol " +
+                                                    std::to_string(frame.protocol));
+      }
+    }
+  });
+}
+
+void Nic::crash() {
+  up_ = false;
+  rx_queue_.clear();
+  if (rx_process_ != nullptr) rx_process_->kill();
+  rx_process_ = nullptr;
+}
+
+void Nic::restart() {
+  if (rx_process_ != nullptr) return;  // not crashed
+  up_ = true;
+  spawnRxProcess();
+}
+
+void Nic::send(sim::Process& self, Frame frame) {
+  if (frame.payload.size() > ether_.cost().eth_mtu) {
+    throw std::logic_error("Nic::send: frame exceeds MTU (" +
+                           std::to_string(frame.payload.size()) + " bytes)");
+  }
+  if (!up_) return;  // transmissions from a dead node vanish
+  frame.src = addr_;
+  cpu_.compute(self, ether_.cost().eth_cpu_send);
+  ++sent_;
+  ether_.transmit(frame);
+}
+
+void Nic::setHandler(ProtocolId protocol, Handler handler) {
+  handlers_[protocol] = std::move(handler);
+}
+
+void Nic::enqueueReceived(Frame frame) {
+  if (!up_) return;
+  rx_queue_.push_back(std::move(frame));
+  rx_process_->wake();
+}
+
+// ---- Ethernet ----
+
+Ethernet::Ethernet(sim::Simulation& sim, const sim::CostModel& cost) : sim_(sim), cost_(cost) {}
+
+Nic& Ethernet::attach(NodeId addr, sim::CpuResource& cpu, std::string name) {
+  if (find(addr) != nullptr) {
+    throw std::logic_error("Ethernet::attach: duplicate node id " + std::to_string(addr));
+  }
+  nics_.push_back(std::unique_ptr<Nic>(new Nic(*this, addr, cpu, std::move(name))));
+  return *nics_.back();
+}
+
+Nic* Ethernet::find(NodeId addr) noexcept {
+  for (auto& n : nics_) {
+    if (n->address() == addr) return n.get();
+  }
+  return nullptr;
+}
+
+void Ethernet::transmit(const Frame& frame) {
+  // Fault injection happens at the medium: a dropped frame still occupies
+  // wire time (collisions/noise do on a real Ethernet).
+  bool drop = false;
+  if (scripted_drops_ > 0) {
+    --scripted_drops_;
+    drop = true;
+  } else if (drop_rate_ > 0.0 && sim_.uniform01() < drop_rate_) {
+    drop = true;
+  }
+  const bool duplicate = !drop && dup_rate_ > 0.0 && sim_.uniform01() < dup_rate_;
+
+  const sim::Duration tx = cost_.ethTxTime(frame.payload.size());
+  const sim::TimePoint start = std::max(sim_.now(), medium_free_at_);
+  medium_free_at_ = start + tx;
+  ++on_wire_;
+  bytes_ += frame.payload.size() + cost_.eth_header;
+
+  if (drop) {
+    ++dropped_;
+    return;
+  }
+  const sim::TimePoint arrival = medium_free_at_ + cost_.eth_propagation;
+  const int copies = duplicate ? 2 : 1;
+  for (int i = 0; i < copies; ++i) {
+    sim_.schedule(arrival - sim_.now(), [this, frame] { deliver(frame); });
+  }
+}
+
+void Ethernet::deliver(const Frame& frame) {
+  Nic* dst = find(frame.dst);
+  if (dst == nullptr) {
+    ++dropped_;
+    return;
+  }
+  dst->enqueueReceived(frame);
+}
+
+}  // namespace clouds::net

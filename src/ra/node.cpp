@@ -1,0 +1,54 @@
+#include "ra/node.hpp"
+
+#include <algorithm>
+
+namespace clouds::ra {
+
+Node::Node(sim::Simulation& sim, const sim::CostModel& cost, net::Ethernet& ether, net::NodeId id,
+           std::string name, int roles)
+    : sim_(sim),
+      cost_(cost),
+      id_(id),
+      name_(std::move(name)),
+      roles_(roles),
+      cpu_(cost.context_switch),
+      nic_(ether.attach(id, cpu_, name_)),
+      ratp_(nic_, name_) {}
+
+sim::Process& Node::spawnIsiBa(const std::string& name, std::function<void(sim::Process&)> body) {
+  sim::Process& p = sim_.spawn(name_ + "." + name, std::move(body));
+  isibas_.push_back(&p);
+  return p;
+}
+
+void Node::addPartition(std::unique_ptr<Partition> p) {
+  partitions_.push_back(std::move(p));
+}
+
+Result<Partition*> Node::partitionFor(const Sysname& segment) {
+  for (auto& p : partitions_) {
+    if (p->serves(segment)) return p.get();
+  }
+  return makeError(Errc::not_found,
+                   name_ + ": no partition serves segment " + segment.toString());
+}
+
+void Node::crash() {
+  if (!alive_) return;
+  alive_ = false;
+  sim_.trace(name_, "node", "CRASH");
+  nic_.crash();
+  ratp_.onCrash();
+  for (sim::Process* p : isibas_) p->kill();
+  isibas_.clear();
+  for (auto& hook : crash_hooks_) hook();
+}
+
+void Node::restart() {
+  if (alive_) return;
+  alive_ = true;
+  sim_.trace(name_, "node", "RESTART");
+  nic_.restart();
+}
+
+}  // namespace clouds::ra

@@ -1,0 +1,57 @@
+#include "ra/virtual_space.hpp"
+
+namespace clouds::ra {
+
+Result<void> VirtualSpace::map(const SpaceMapping& m) {
+  if (m.length == 0) return makeError(Errc::bad_argument, "empty mapping");
+  if (m.base % kPageSize != 0 || m.seg_offset % kPageSize != 0) {
+    return makeError(Errc::bad_argument, "mapping not page-aligned");
+  }
+  if (m.segment.isNull()) return makeError(Errc::bad_argument, "mapping of null segment");
+  // Overlap check against neighbours in base order.
+  auto next = mappings_.lower_bound(m.base);
+  if (next != mappings_.end() && next->second.base < m.base + m.length) {
+    return makeError(Errc::already_exists, "mapping overlaps existing range");
+  }
+  if (next != mappings_.begin()) {
+    const auto& prev = std::prev(next)->second;
+    if (prev.base + prev.length > m.base) {
+      return makeError(Errc::already_exists, "mapping overlaps existing range");
+    }
+  }
+  mappings_.emplace(m.base, m);
+  return okResult();
+}
+
+Result<void> VirtualSpace::unmap(VAddr base) {
+  if (mappings_.erase(base) == 0) {
+    return makeError(Errc::not_found, "no mapping at base");
+  }
+  return okResult();
+}
+
+const SpaceMapping* VirtualSpace::findMapping(VAddr addr) const {
+  auto it = mappings_.upper_bound(addr);
+  if (it == mappings_.begin()) return nullptr;
+  const SpaceMapping& m = std::prev(it)->second;
+  if (addr >= m.base + m.length) return nullptr;
+  return &m;
+}
+
+Result<Translation> VirtualSpace::translate(VAddr addr, Access access) const {
+  const SpaceMapping* m = findMapping(addr);
+  if (m == nullptr) {
+    return makeError(Errc::protection, "address " + std::to_string(addr) + " not mapped");
+  }
+  if (access == Access::write && !m->writable) {
+    return makeError(Errc::protection, "write to read-only mapping at " + std::to_string(addr));
+  }
+  Translation t;
+  t.segment = m->segment;
+  t.seg_offset = m->seg_offset + (addr - m->base);
+  t.writable = m->writable;
+  t.contiguous = m->base + m->length - addr;
+  return t;
+}
+
+}  // namespace clouds::ra

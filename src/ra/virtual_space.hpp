@@ -1,0 +1,60 @@
+// Virtual spaces (paper §4.1).
+//
+// "A virtual space is the abstraction of an addressing domain, and is a
+//  monotonically increasing range of virtual addresses with possible holes
+//  in the range. Each contiguous range of virtual addresses is mapped to (a
+//  portion of) a segment."
+//
+// A Clouds object's address space is a VirtualSpace with its code segment,
+// persistent data segments, heaps and (during an invocation) the thread's
+// stack segment mapped at fixed bases. Translation turns a virtual address
+// into a (segment, offset) pair; residency and coherence are the partition
+// layer's problem.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/error.hpp"
+#include "ra/types.hpp"
+
+namespace clouds::ra {
+
+struct SpaceMapping {
+  VAddr base = 0;
+  std::uint64_t length = 0;       // bytes; mappings are page-aligned
+  Sysname segment;
+  std::uint64_t seg_offset = 0;   // page-aligned offset inside the segment
+  bool writable = true;
+};
+
+struct Translation {
+  Sysname segment;
+  std::uint64_t seg_offset = 0;  // byte offset inside the segment
+  bool writable = true;
+  std::uint64_t contiguous = 0;  // bytes addressable past this point in the mapping
+};
+
+class VirtualSpace {
+ public:
+  // Add a mapping; rejects overlap and misalignment.
+  Result<void> map(const SpaceMapping& m);
+
+  // Remove the mapping starting exactly at base.
+  Result<void> unmap(VAddr base);
+
+  // Translate one address; fails with Errc::protection on holes or on a
+  // write to a read-only mapping.
+  Result<Translation> translate(VAddr addr, Access access) const;
+
+  // The mapping containing addr, if any.
+  const SpaceMapping* findMapping(VAddr addr) const;
+
+  std::size_t mappingCount() const noexcept { return mappings_.size(); }
+
+ private:
+  std::map<VAddr, SpaceMapping> mappings_;  // keyed by base
+};
+
+}  // namespace clouds::ra

@@ -1,0 +1,36 @@
+// A node's CPU as a schedulable resource.
+//
+// Ra's low-level scheduler multiplexes IsiBas over the processor (paper
+// §4.1); here each simulated machine has one CpuResource, compute time is
+// consumed through it FIFO, and the paper's 0.14 ms context-switch cost is
+// charged whenever ownership changes hands.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/sync.hpp"
+#include "sim/time.hpp"
+
+namespace clouds::sim {
+
+class CpuResource {
+ public:
+  CpuResource(Duration context_switch_cost) : switch_cost_(context_switch_cost) {}
+
+  // Consume `work` of CPU time (plus a context switch if the previous user
+  // was a different process). Blocks while other processes occupy the CPU.
+  void compute(Process& self, Duration work);
+
+  std::uint64_t switchCount() const noexcept { return switches_; }
+  Duration busyTime() const noexcept { return busy_; }
+
+ private:
+  Duration switch_cost_;
+  SimMutex mu_;
+  const Process* last_user_ = nullptr;
+  std::uint64_t switches_ = 0;
+  Duration busy_ = kZero;
+};
+
+}  // namespace clouds::sim

@@ -1,0 +1,172 @@
+#include "sim/process.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "sim/simulation.hpp"
+
+namespace clouds::sim {
+
+Process::Process(Simulation& sim, std::uint64_t id, std::string name,
+                 std::function<void(Process&)> body)
+    : sim_(sim), id_(id), name_(std::move(name)) {
+  thread_ = std::thread([this, body = std::move(body)]() mutable { trampoline(std::move(body)); });
+}
+
+Process::~Process() {
+  if (!done()) {
+    kill();
+    resumeNow();
+  }
+  joinThread();
+}
+
+void Process::trampoline(std::function<void(Process&)> body) {
+  {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return state_ == State::running; });
+  }
+  if (!killed_) {
+    try {
+      body(*this);
+    } catch (const ProcessKilled&) {
+      // Normal teardown path: node crash or simulation shutdown.
+    } catch (const std::exception& e) {
+      // An exception escaping a process body is a programming error in the
+      // reproduction itself (expected failures travel as Result<T>).
+      std::fprintf(stderr, "fatal: exception escaped sim process '%s': %s\n", name_.c_str(),
+                   e.what());
+      std::abort();
+    }
+  }
+  yield(State::done);
+}
+
+void Process::yield(State next) {
+  assert(next == State::blocked || next == State::done);
+  std::unique_lock lk(mu_);
+  state_ = next;
+  cv_.notify_all();
+  if (next == State::done) return;  // thread is about to exit; scheduler reaps it
+  cv_.wait(lk, [&] { return state_ == State::running; });
+  lk.unlock();
+  throwIfKilled();
+}
+
+void Process::throwIfKilled() {
+  if (!killed_) return;
+  // Destructors running during kill-unwinding may reach here via release
+  // paths; they must not block, and must not throw again.
+  if (std::uncaught_exceptions() > 0) return;
+  throw ProcessKilled{};
+}
+
+void Process::resumeNow() {
+  assert(state_ != State::running);
+  if (done()) return;
+  {
+    std::unique_lock lk(mu_);
+    state_ = State::running;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return state_ != State::running; });
+  }
+  if (done()) joinThread();
+}
+
+void Process::scheduleResume() {
+  if (done()) return;
+  {
+    std::scoped_lock lk(mu_);
+    if (resume_queued_) return;
+    resume_queued_ = true;
+    if (state_ == State::blocked || state_ == State::created) state_ = State::ready;
+  }
+  sim_.schedule(kZero, [this] {
+    {
+      std::scoped_lock lk(mu_);
+      resume_queued_ = false;
+    }
+    if (!done()) resumeNow();
+  });
+}
+
+void Process::delay(Duration d) {
+  throwIfKilled();
+  {
+    std::scoped_lock lk(mu_);
+    assert(state_ == State::running);
+    resume_queued_ = true;
+  }
+  sim_.schedule(d, [this] {
+    {
+      std::scoped_lock lk(mu_);
+      resume_queued_ = false;
+    }
+    if (!done()) resumeNow();
+  });
+  yield(State::blocked);
+}
+
+void Process::block() {
+  throwIfKilled();
+  {
+    std::scoped_lock lk(mu_);
+    ++block_token_;
+  }
+  yield(State::blocked);
+}
+
+bool Process::blockFor(Duration timeout) {
+  throwIfKilled();
+  std::uint64_t token = 0;
+  {
+    std::scoped_lock lk(mu_);
+    token = ++block_token_;
+    timed_out_ = false;
+  }
+  sim_.schedule(timeout, [this, token] {
+    bool fire = false;
+    {
+      std::scoped_lock lk(mu_);
+      fire = state_ == State::blocked && block_token_ == token && !resume_queued_;
+      if (fire) timed_out_ = true;
+    }
+    if (fire) resumeNow();
+  });
+  yield(State::blocked);
+  bool woken = false;
+  {
+    std::scoped_lock lk(mu_);
+    woken = !timed_out_;
+    timed_out_ = false;
+  }
+  return woken;
+}
+
+void Process::wake() {
+  std::uint64_t invalidate = 0;
+  {
+    std::scoped_lock lk(mu_);
+    if (state_ != State::blocked || resume_queued_) return;
+    invalidate = ++block_token_;  // cancel any outstanding blockFor timeout
+  }
+  (void)invalidate;
+  scheduleResume();
+}
+
+void Process::kill() {
+  {
+    std::scoped_lock lk(mu_);
+    if (killed_ || state_ == State::done) return;
+    killed_ = true;
+  }
+  if (state_ == State::blocked) scheduleResume();
+}
+
+void Process::joinThread() {
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace clouds::sim

@@ -1,0 +1,100 @@
+// Cooperatively scheduled simulation processes.
+//
+// A Process carries real C++ code (Clouds entry points, protocol handlers)
+// on a dedicated host thread, but the simulation enforces a strict
+// one-runner-at-a-time handshake: the scheduler resumes exactly one process
+// and waits until it yields (delay / block / termination) before touching
+// the event queue again. Combined with deterministic event ordering this
+// makes every run with a given seed bit-for-bit reproducible, while letting
+// "object code" be ordinary C++.
+//
+// This is the reproduction's stand-in for an IsiBa's machine context; the Ra
+// layer wraps it with a stack segment and node binding (DESIGN.md §2).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sim/time.hpp"
+
+namespace clouds::sim {
+
+class Simulation;
+
+// Thrown inside a process when its node crashes or the simulation shuts
+// down. Unwinds the process stack through RAII cleanup; never caught by
+// user code.
+struct ProcessKilled {};
+
+class Process {
+ public:
+  enum class State : std::uint8_t { created, ready, running, blocked, done };
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process();
+
+  const std::string& name() const noexcept { return name_; }
+  std::uint64_t id() const noexcept { return id_; }
+  State state() const noexcept { return state_; }
+  bool done() const noexcept { return state_ == State::done; }
+  Simulation& simulation() const noexcept { return sim_; }
+
+  // ---- Calls made from inside the process body (process context) ----
+
+  // Advance virtual time by d, yielding to other events meanwhile.
+  void delay(Duration d);
+
+  // Block until wake() is called. May wake spuriously if a stale timeout
+  // from an earlier blockFor() fires; callers loop on their condition.
+  void block();
+
+  // Block with a timeout. Returns true if woken by wake(), false if the
+  // timeout elapsed first.
+  bool blockFor(Duration timeout);
+
+  // ---- Calls made from scheduler/event context or another process ----
+
+  // Make a blocked process runnable (no-op if it is not blocked).
+  void wake();
+
+  // Mark the process for teardown; the next time it would run, ProcessKilled
+  // is thrown inside it instead. Used for node crashes and shutdown.
+  void kill();
+
+  bool killed() const noexcept { return killed_; }
+
+ private:
+  friend class Simulation;
+  Process(Simulation& sim, std::uint64_t id, std::string name, std::function<void(Process&)> body);
+
+  void trampoline(std::function<void(Process&)> body);
+  // Hand control back to the scheduler and wait to be resumed. Rethrows
+  // ProcessKilled on resume if kill() was requested (unless unwinding).
+  void yield(State next);
+  void throwIfKilled();
+  // Scheduler side: transfer control to the process and wait for its yield.
+  void resumeNow();
+  // Queue a resume event at the current time if none is pending.
+  void scheduleResume();
+  void joinThread();
+
+  Simulation& sim_;
+  std::uint64_t id_;
+  std::string name_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  State state_ = State::created;
+  bool resume_queued_ = false;
+  bool timed_out_ = false;
+  bool killed_ = false;
+  std::uint64_t block_token_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace clouds::sim

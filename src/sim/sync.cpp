@@ -1,0 +1,104 @@
+#include "sim/sync.hpp"
+
+#include "sim/simulation.hpp"
+
+namespace clouds::sim {
+
+void WaitQueue::wait(Process& self) {
+  waiters_.push_back(Waiter{&self});
+  auto it = std::prev(waiters_.end());
+  while (!it->notified) self.block();
+  waiters_.erase(it);
+}
+
+bool WaitQueue::waitFor(Process& self, Duration timeout) {
+  waiters_.push_back(Waiter{&self});
+  auto it = std::prev(waiters_.end());
+  const TimePoint deadline = self.simulation().now() + timeout;
+  while (!it->notified) {
+    const Duration remaining = deadline - self.simulation().now();
+    if (remaining <= kZero) {
+      waiters_.erase(it);
+      return false;
+    }
+    (void)self.blockFor(remaining);
+  }
+  waiters_.erase(it);
+  return true;
+}
+
+void WaitQueue::notifyOne() {
+  for (auto& w : waiters_) {
+    if (!w.notified) {
+      w.notified = true;
+      w.process->wake();
+      return;
+    }
+  }
+}
+
+void WaitQueue::notifyAll() {
+  for (auto& w : waiters_) {
+    if (!w.notified) {
+      w.notified = true;
+      w.process->wake();
+    }
+  }
+}
+
+void SimMutex::lock(Process& self) {
+  while (owner_ != nullptr) queue_.wait(self);
+  owner_ = &self;
+}
+
+bool SimMutex::lockFor(Process& self, Duration timeout) {
+  const TimePoint deadline = self.simulation().now() + timeout;
+  while (owner_ != nullptr) {
+    const Duration remaining = deadline - self.simulation().now();
+    if (remaining <= kZero) return false;
+    if (!queue_.waitFor(self, remaining) && owner_ != nullptr) return false;
+  }
+  owner_ = &self;
+  return true;
+}
+
+void SimMutex::unlock() {
+  owner_ = nullptr;
+  queue_.notifyOne();
+}
+
+void SimSemaphore::acquire(Process& self) {
+  while (count_ <= 0) queue_.wait(self);
+  --count_;
+}
+
+bool SimSemaphore::acquireFor(Process& self, Duration timeout) {
+  const TimePoint deadline = self.simulation().now() + timeout;
+  while (count_ <= 0) {
+    const Duration remaining = deadline - self.simulation().now();
+    if (remaining <= kZero) return false;
+    if (!queue_.waitFor(self, remaining) && count_ <= 0) return false;
+  }
+  --count_;
+  return true;
+}
+
+void SimSemaphore::release(std::int64_t n) {
+  count_ += n;
+  for (std::int64_t i = 0; i < n; ++i) queue_.notifyOne();
+}
+
+void SimCondition::wait(Process& self, SimMutex& m) {
+  m.unlock();
+  queue_.wait(self);
+  m.lock(self);
+}
+
+bool SimCondition::waitFor(Process& self, SimMutex& m, Duration timeout) {
+  m.unlock();
+  const bool notified = queue_.waitFor(self, timeout);
+  m.lock(self);
+  return notified;
+}
+
+}  // namespace clouds::sim

@@ -1,0 +1,94 @@
+// Synchronization primitives for simulation processes.
+//
+// These are the reproduction's analogue of the "system supported
+// synchronization primitives such as locks or semaphores" the paper gives
+// Clouds programmers (§2.2). All of them are FIFO and deterministic, built
+// on the WaitQueue below; none touch host-thread synchronization directly.
+#pragma once
+
+#include <cstdint>
+#include <list>
+
+#include "sim/process.hpp"
+#include "sim/time.hpp"
+
+namespace clouds::sim {
+
+// FIFO queue of blocked processes. Handles spurious wakeups (stale blockFor
+// timers) internally: a waiter returns only when explicitly notified or its
+// own timeout expires.
+class WaitQueue {
+ public:
+  // Block the calling process until notified.
+  void wait(Process& self);
+
+  // Block with a timeout; returns false if the timeout elapsed first.
+  bool waitFor(Process& self, Duration timeout);
+
+  // Wake the longest-waiting process (no-op when empty).
+  void notifyOne();
+  void notifyAll();
+
+  bool empty() const noexcept { return waiters_.empty(); }
+  std::size_t size() const noexcept { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    Process* process;
+    bool notified = false;
+  };
+  std::list<Waiter> waiters_;
+};
+
+// Mutual exclusion between simulation processes (not host threads).
+class SimMutex {
+ public:
+  void lock(Process& self);
+  bool lockFor(Process& self, Duration timeout);
+  void unlock();
+  bool locked() const noexcept { return owner_ != nullptr; }
+  Process* owner() const noexcept { return owner_; }
+
+ private:
+  Process* owner_ = nullptr;
+  WaitQueue queue_;
+};
+
+class SimLockGuard {
+ public:
+  SimLockGuard(SimMutex& m, Process& self) : m_(m) { m_.lock(self); }
+  ~SimLockGuard() { m_.unlock(); }
+  SimLockGuard(const SimLockGuard&) = delete;
+  SimLockGuard& operator=(const SimLockGuard&) = delete;
+
+ private:
+  SimMutex& m_;
+};
+
+class SimSemaphore {
+ public:
+  explicit SimSemaphore(std::int64_t initial = 0) : count_(initial) {}
+
+  void acquire(Process& self);                      // P
+  bool acquireFor(Process& self, Duration timeout);
+  void release(std::int64_t n = 1);                 // V
+  std::int64_t count() const noexcept { return count_; }
+
+ private:
+  std::int64_t count_;
+  WaitQueue queue_;
+};
+
+// Condition variable used with SimMutex.
+class SimCondition {
+ public:
+  void wait(Process& self, SimMutex& m);
+  bool waitFor(Process& self, SimMutex& m, Duration timeout);
+  void notifyOne() { queue_.notifyOne(); }
+  void notifyAll() { queue_.notifyAll(); }
+
+ private:
+  WaitQueue queue_;
+};
+
+}  // namespace clouds::sim

@@ -1,0 +1,37 @@
+// Virtual time for the Clouds simulation.
+//
+// All latencies in the reproduction are virtual: they advance the cluster's
+// event clock, never the host clock. Nanosecond resolution comfortably
+// covers the paper's microsecond-scale cost constants.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace clouds::sim {
+
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::nanoseconds;  // offset from simulation start
+
+constexpr Duration kZero = Duration::zero();
+
+constexpr Duration nsec(std::int64_t n) { return Duration(n); }
+constexpr Duration usec(std::int64_t n) { return Duration(n * 1000); }
+constexpr Duration msec(std::int64_t n) { return Duration(n * 1000000); }
+constexpr Duration sec(std::int64_t n) { return Duration(n * 1000000000); }
+
+constexpr double toMillis(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+constexpr double toMicros(Duration d) {
+  return static_cast<double>(d.count()) / 1e3;
+}
+
+inline std::string formatMillis(Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", toMillis(d));
+  return buf;
+}
+
+}  // namespace clouds::sim

@@ -1,0 +1,268 @@
+#include "store/disk_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/codec.hpp"
+
+namespace clouds::store {
+
+DiskStore::DiskStore(std::uint32_t home_node, const sim::CostModel& cost,
+                     std::size_t buffer_cache_pages)
+    : home_(home_node), cost_(cost), cache_capacity_(buffer_cache_pages) {}
+
+DiskStore::StoredSegment* DiskStore::find(const Sysname& s) {
+  auto it = segments_.find(s);
+  return it == segments_.end() ? nullptr : &it->second;
+}
+const DiskStore::StoredSegment* DiskStore::find(const Sysname& s) const {
+  auto it = segments_.find(s);
+  return it == segments_.end() ? nullptr : &it->second;
+}
+
+Result<Sysname> DiskStore::createSegment(std::uint64_t length, bool zero_fill) {
+  const Sysname name = ra::makeHomedSysname(home_, next_seq_++);
+  CLOUDS_TRY(adoptSegment(name, length, zero_fill));
+  return name;
+}
+
+Result<void> DiskStore::adoptSegment(const Sysname& name, std::uint64_t length, bool zero_fill) {
+  if (name.isNull()) return makeError(Errc::bad_argument, "null segment name");
+  if (segments_.count(name) != 0) {
+    return makeError(Errc::already_exists, "segment exists: " + name.toString());
+  }
+  StoredSegment seg;
+  seg.info = ra::SegmentInfo{name, length, zero_fill};
+  segments_.emplace(name, std::move(seg));
+  return okResult();
+}
+
+Result<ra::SegmentInfo> DiskStore::stat(const Sysname& segment) const {
+  const StoredSegment* s = find(segment);
+  if (s == nullptr) return makeError(Errc::not_found, "no segment " + segment.toString());
+  return s->info;
+}
+
+Result<void> DiskStore::resize(const Sysname& segment, std::uint64_t new_length) {
+  StoredSegment* s = find(segment);
+  if (s == nullptr) return makeError(Errc::not_found, "no segment " + segment.toString());
+  s->info.length = new_length;
+  const auto pages = s->info.pageCount();
+  for (auto it = s->pages.begin(); it != s->pages.end();) {
+    it = it->first >= pages ? s->pages.erase(it) : std::next(it);
+  }
+  return okResult();
+}
+
+Result<void> DiskStore::destroySegment(const Sysname& segment) {
+  if (segments_.erase(segment) == 0) {
+    return makeError(Errc::not_found, "no segment " + segment.toString());
+  }
+  return okResult();
+}
+
+std::vector<Sysname> DiskStore::listSegments() const {
+  std::vector<Sysname> out;
+  out.reserve(segments_.size());
+  for (const auto& [name, _] : segments_) out.push_back(name);
+  return out;
+}
+
+void DiskStore::chargeDiskRead(sim::Process& self, const ra::PageKey& key) {
+  if (buffer_cache_.count(key) != 0) return;  // buffer-cache hit: no mechanical delay
+  ++disk_reads_;
+  self.delay(cost_.disk_seek_rotate + cost_.disk_per_page);
+  buffer_cache_.insert(key);
+  cache_order_.push_back(key);
+  if (cache_order_.size() > cache_capacity_) {
+    buffer_cache_.erase(cache_order_.front());
+    cache_order_.erase(cache_order_.begin());
+  }
+}
+
+void DiskStore::chargeDiskWrite(sim::Process& self) {
+  ++disk_writes_;
+  self.delay(cost_.disk_per_page);  // write-behind: no synchronous seek charge
+}
+
+Result<bool> DiskStore::readPage(sim::Process& self, const ra::PageKey& key,
+                                 MutableByteSpan out) {
+  const StoredSegment* s = find(key.segment);
+  if (s == nullptr) return makeError(Errc::not_found, "no segment " + key.segment.toString());
+  if (key.page >= s->info.pageCount()) {
+    return makeError(Errc::bad_argument, "page out of range: " + key.toString());
+  }
+  if (out.size() != ra::kPageSize) return makeError(Errc::bad_argument, "bad page buffer size");
+  auto it = s->pages.find(key.page);
+  if (it == s->pages.end()) {
+    std::memset(out.data(), 0, out.size());
+    return false;  // never written: zero-fill, no disk I/O
+  }
+  chargeDiskRead(self, key);
+  std::memcpy(out.data(), it->second.data(), ra::kPageSize);
+  return true;
+}
+
+Result<void> DiskStore::writePage(sim::Process& self, const ra::PageKey& key, ByteSpan data) {
+  StoredSegment* s = find(key.segment);
+  if (s == nullptr) return makeError(Errc::not_found, "no segment " + key.segment.toString());
+  if (key.page >= s->info.pageCount()) {
+    return makeError(Errc::bad_argument, "page out of range: " + key.toString());
+  }
+  if (data.size() != ra::kPageSize) return makeError(Errc::bad_argument, "bad page size");
+  chargeDiskWrite(self);
+  Bytes& page = s->pages[key.page];
+  page.assign(data.begin(), data.end());
+  if (buffer_cache_.count(key) == 0) {
+    buffer_cache_.insert(key);
+    cache_order_.push_back(key);
+    if (cache_order_.size() > cache_capacity_) {
+      buffer_cache_.erase(cache_order_.front());
+      cache_order_.erase(cache_order_.begin());
+    }
+  }
+  return okResult();
+}
+
+Result<void> DiskStore::prepare(sim::Process& self, std::uint64_t txid,
+                                std::vector<PageUpdate> updates) {
+  for (const PageUpdate& u : updates) {
+    const StoredSegment* s = find(u.key.segment);
+    if (s == nullptr) {
+      return makeError(Errc::not_found, "prepare names unknown segment " + u.key.toString());
+    }
+    if (u.data.size() != ra::kPageSize) {
+      return makeError(Errc::bad_argument, "prepare with bad page size");
+    }
+  }
+  // Force the log record (one synchronous write regardless of page count;
+  // the page images ride in the same log flush).
+  self.delay(cost_.commit_log_write);
+  prepared_[txid] = std::move(updates);
+  return okResult();
+}
+
+Result<void> DiskStore::commitPrepared(sim::Process& self, std::uint64_t txid) {
+  auto it = prepared_.find(txid);
+  if (it == prepared_.end()) {
+    // Presumed idempotent: a retransmitted commit for an applied transaction.
+    return okResult();
+  }
+  self.delay(cost_.commit_log_write);  // force the commit record
+  for (const PageUpdate& u : it->second) {
+    CLOUDS_TRY(writePage(self, u.key, u.data));
+  }
+  prepared_.erase(it);
+  return okResult();
+}
+
+Result<void> DiskStore::abortPrepared(sim::Process& self, std::uint64_t txid) {
+  self.delay(cost_.commit_log_write);
+  prepared_.erase(txid);
+  return okResult();
+}
+
+std::vector<ra::PageKey> DiskStore::preparedKeys(std::uint64_t txid) const {
+  std::vector<ra::PageKey> out;
+  auto it = prepared_.find(txid);
+  if (it == prepared_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& u : it->second) out.push_back(u.key);
+  return out;
+}
+
+std::vector<std::uint64_t> DiskStore::preparedTxids() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [txid, _] : prepared_) out.push_back(txid);
+  return out;
+}
+
+Result<void> DiskStore::saveTo(const std::string& path) const {
+  Encoder e;
+  e.u32(0xC10D5701u);  // magic + version
+  e.u32(home_);
+  e.u64(next_seq_);
+  e.u32(static_cast<std::uint32_t>(segments_.size()));
+  for (const auto& [name, seg] : segments_) {
+    e.sysname(name);
+    e.u64(seg.info.length);
+    e.boolean(seg.info.zero_fill);
+    e.u32(static_cast<std::uint32_t>(seg.pages.size()));
+    for (const auto& [idx, data] : seg.pages) {
+      e.u32(idx);
+      e.bytes(data);
+    }
+  }
+  e.u32(static_cast<std::uint32_t>(prepared_.size()));
+  for (const auto& [txid, updates] : prepared_) {
+    e.u64(txid);
+    e.u32(static_cast<std::uint32_t>(updates.size()));
+    for (const auto& u : updates) {
+      e.sysname(u.key.segment);
+      e.u32(u.key.page);
+      e.bytes(u.data);
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return makeError(Errc::io, "cannot open " + path);
+  const auto& buf = e.buffer();
+  const bool ok = std::fwrite(buf.data(), 1, buf.size(), f) == buf.size();
+  std::fclose(f);
+  if (!ok) return makeError(Errc::io, "short write to " + path);
+  return okResult();
+}
+
+Result<void> DiskStore::loadFrom(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return makeError(Errc::io, "cannot open " + path);
+  Bytes buf;
+  std::byte tmp[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(tmp, 1, sizeof(tmp), f)) > 0) buf.insert(buf.end(), tmp, tmp + n);
+  std::fclose(f);
+
+  Decoder d(buf);
+  CLOUDS_TRY_ASSIGN(magic, d.u32());
+  if (magic != 0xC10D5701u) return makeError(Errc::io, "bad snapshot magic in " + path);
+  CLOUDS_TRY_ASSIGN(home, d.u32());
+  CLOUDS_TRY_ASSIGN(seq, d.u64());
+  CLOUDS_TRY_ASSIGN(nsegs, d.u32());
+  std::map<Sysname, StoredSegment> segments;
+  for (std::uint32_t i = 0; i < nsegs; ++i) {
+    CLOUDS_TRY_ASSIGN(name, d.sysname());
+    CLOUDS_TRY_ASSIGN(length, d.u64());
+    CLOUDS_TRY_ASSIGN(zero_fill, d.boolean());
+    CLOUDS_TRY_ASSIGN(npages, d.u32());
+    StoredSegment seg;
+    seg.info = ra::SegmentInfo{name, length, zero_fill};
+    for (std::uint32_t p = 0; p < npages; ++p) {
+      CLOUDS_TRY_ASSIGN(idx, d.u32());
+      CLOUDS_TRY_ASSIGN(data, d.bytes());
+      seg.pages.emplace(idx, std::move(data));
+    }
+    segments.emplace(name, std::move(seg));
+  }
+  CLOUDS_TRY_ASSIGN(ntx, d.u32());
+  std::map<std::uint64_t, std::vector<PageUpdate>> prepared;
+  for (std::uint32_t i = 0; i < ntx; ++i) {
+    CLOUDS_TRY_ASSIGN(txid, d.u64());
+    CLOUDS_TRY_ASSIGN(nupd, d.u32());
+    std::vector<PageUpdate> updates;
+    for (std::uint32_t u = 0; u < nupd; ++u) {
+      CLOUDS_TRY_ASSIGN(seg, d.sysname());
+      CLOUDS_TRY_ASSIGN(page, d.u32());
+      CLOUDS_TRY_ASSIGN(data, d.bytes());
+      updates.push_back(PageUpdate{ra::PageKey{seg, page}, std::move(data)});
+    }
+    prepared.emplace(txid, std::move(updates));
+  }
+  home_ = home;
+  next_seq_ = seq;
+  segments_ = std::move(segments);
+  prepared_ = std::move(prepared);
+  loseVolatileState();
+  return okResult();
+}
+
+}  // namespace clouds::store

@@ -1,0 +1,104 @@
+// Data-server storage (paper §3, §4.3).
+//
+// "Secondary storage is provided by data servers. Data servers are used to
+//  store Clouds objects and supply the code and data of these objects to
+//  compute servers." The prototype "stores the data in Unix files"; here
+//  the durable medium is an in-memory image with an explicit
+//  volatile/durable split plus optional snapshots to host files, so both
+//  in-simulation crashes (durable state survives, buffer cache does not)
+//  and cross-simulation persistence (paper §2.1: an object "survives system
+//  crashes and shutdowns") are testable.
+//
+// The store is also the two-phase-commit participant's durable half:
+// prepared page updates are staged in a log that survives crashes, exactly
+// what the consistency layer's recovery path needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/sysname.hpp"
+#include "ra/types.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/process.hpp"
+
+namespace clouds::store {
+
+struct PageUpdate {
+  ra::PageKey key;
+  Bytes data;  // exactly kPageSize bytes
+};
+
+class DiskStore {
+ public:
+  DiskStore(std::uint32_t home_node, const sim::CostModel& cost,
+            std::size_t buffer_cache_pages = 256);
+
+  std::uint32_t homeNode() const noexcept { return home_; }
+
+  // ---- Segment operations (metadata is cheap; page I/O pays disk time) ----
+  Result<Sysname> createSegment(std::uint64_t length, bool zero_fill = true);
+  // Adopt a segment under a caller-chosen sysname (replica placement).
+  Result<void> adoptSegment(const Sysname& name, std::uint64_t length, bool zero_fill = true);
+  Result<ra::SegmentInfo> stat(const Sysname& segment) const;
+  Result<void> resize(const Sysname& segment, std::uint64_t new_length);
+  Result<void> destroySegment(const Sysname& segment);
+  std::vector<Sysname> listSegments() const;
+
+  // Read a page into out (kPageSize bytes). Pages never written read as
+  // zeroes and cost no disk I/O; `was_written` reports which case occurred
+  // (the client charges a zero-fill fault instead of a copy fault).
+  Result<bool> readPage(sim::Process& self, const ra::PageKey& key, MutableByteSpan out);
+  Result<void> writePage(sim::Process& self, const ra::PageKey& key, ByteSpan data);
+
+  // ---- Two-phase commit participant (durable log) ----
+  Result<void> prepare(sim::Process& self, std::uint64_t txid, std::vector<PageUpdate> updates);
+  Result<void> commitPrepared(sim::Process& self, std::uint64_t txid);
+  Result<void> abortPrepared(sim::Process& self, std::uint64_t txid);
+  bool hasPrepared(std::uint64_t txid) const { return prepared_.count(txid) != 0; }
+  std::vector<std::uint64_t> preparedTxids() const;
+  // Keys staged under a prepared transaction (empty when unknown).
+  std::vector<ra::PageKey> preparedKeys(std::uint64_t txid) const;
+
+  // ---- Failure / persistence ----
+  // In-simulation crash: the buffer cache is lost; images and log survive.
+  void loseVolatileState() { buffer_cache_.clear(); cache_order_.clear(); }
+  void clearBufferCache() { loseVolatileState(); }
+
+  // Snapshot all durable state to / from a host file (survives the process).
+  Result<void> saveTo(const std::string& path) const;
+  Result<void> loadFrom(const std::string& path);
+
+  std::uint64_t diskReads() const noexcept { return disk_reads_; }
+  std::uint64_t diskWrites() const noexcept { return disk_writes_; }
+
+ private:
+  struct StoredSegment {
+    ra::SegmentInfo info;
+    std::map<ra::PageIndex, Bytes> pages;  // only written pages are present
+  };
+
+  void chargeDiskRead(sim::Process& self, const ra::PageKey& key);
+  void chargeDiskWrite(sim::Process& self);
+  StoredSegment* find(const Sysname& s);
+  const StoredSegment* find(const Sysname& s) const;
+
+  std::uint32_t home_;
+  const sim::CostModel& cost_;
+  std::size_t cache_capacity_;
+  std::uint64_t next_seq_ = 1;
+  std::map<Sysname, StoredSegment> segments_;
+  std::map<std::uint64_t, std::vector<PageUpdate>> prepared_;  // durable 2PC log
+  // Buffer cache: pages recently touched on this server (LRU).
+  std::set<ra::PageKey> buffer_cache_;
+  std::vector<ra::PageKey> cache_order_;
+  std::uint64_t disk_reads_ = 0;
+  std::uint64_t disk_writes_ = 0;
+};
+
+}  // namespace clouds::store

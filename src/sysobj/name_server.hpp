@@ -1,0 +1,67 @@
+// The Clouds name server (paper §2.1, §2.4).
+//
+// "Users can define high-level names for objects. These are translated to
+//  sysnames using a name server." Bindings map a user-level string to one
+//  sysname (a plain object) or several (a PET replica set, §5.2.2). The
+//  server runs on a data server node; class code segments are also
+//  registered here (under "class:<name>") so any node can instantiate.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "ra/node.hpp"
+
+namespace clouds::sysobj {
+
+struct Binding {
+  std::vector<Sysname> sysnames;  // size 1 = plain object; >1 = replica set
+  bool isReplicated() const noexcept { return sysnames.size() > 1; }
+};
+
+class NameServer {
+ public:
+  explicit NameServer(ra::Node& node);
+
+  // Direct (local) access for tests and bootstrap.
+  Result<void> bind(const std::string& name, Binding binding, bool replace = false);
+  Result<Binding> lookup(const std::string& name) const;
+  Result<void> unbind(const std::string& name);
+  std::vector<std::string> list() const;
+
+  // Snapshot the name map to / from a host file (the prototype stored its
+  // durable state "in Unix files"; the cluster façade snapshots names
+  // alongside the data servers' stores at shutdown).
+  Result<void> saveTo(const std::string& path) const;
+  Result<void> loadFrom(const std::string& path);
+
+  net::NodeId nodeId() const noexcept { return node_.id(); }
+
+ private:
+  Bytes serve(sim::Process& self, const Bytes& request);
+
+  ra::Node& node_;
+  std::map<std::string, Binding> bindings_;
+};
+
+// Client stub usable from any node.
+class NameClient {
+ public:
+  NameClient(ra::Node& node, net::NodeId name_server) : node_(node), server_(name_server) {}
+
+  Result<void> bind(sim::Process& self, const std::string& name,
+                    const std::vector<Sysname>& sysnames, bool replace = false);
+  Result<Binding> lookup(sim::Process& self, const std::string& name);
+  Result<void> unbind(sim::Process& self, const std::string& name);
+  Result<std::vector<std::string>> list(sim::Process& self);
+
+  net::NodeId serverNode() const noexcept { return server_; }
+
+ private:
+  ra::Node& node_;
+  net::NodeId server_;
+};
+
+}  // namespace clouds::sysobj

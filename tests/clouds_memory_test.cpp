@@ -1,0 +1,157 @@
+// The memory-type spectrum of paper §5.1 ("Types of Persistent Memory")
+// plus asynchronous invocation: per-object (persistent, shared),
+// per-invocation (volatile, private to one invocation), per-thread
+// (volatile, private to one thread, lasts across invocations).
+#include <gtest/gtest.h>
+
+#include "clouds/cluster.hpp"
+#include "clouds/standard_classes.hpp"
+
+namespace clouds {
+namespace {
+
+using obj::Value;
+using obj::ValueList;
+
+std::unique_ptr<Cluster> makeCluster(int compute = 2) {
+  ClusterConfig cfg;
+  cfg.compute_servers = compute;
+  cfg.data_servers = 1;
+  auto c = std::make_unique<Cluster>(cfg);
+  obj::samples::registerAll(c->classes());
+  return c;
+}
+
+TEST(CloudsMemory, PerInvocationMemoryIsFreshEachInvocation) {
+  auto c = makeCluster();
+  obj::ClassDef probe;
+  probe.name = "invmem";
+  probe.entry("bump", [](obj::ObjectContext& ctx, const ValueList&) -> Result<Value> {
+    const auto v = ctx.invGet<std::int64_t>(0) + 1;
+    ctx.invPut<std::int64_t>(0, v);
+    // Within one invocation the region persists across accesses...
+    const auto v2 = ctx.invGet<std::int64_t>(0) + 1;
+    ctx.invPut<std::int64_t>(0, v2);
+    return Value{v2};
+  });
+  c->classes().registerClass(std::move(probe));
+  ASSERT_TRUE(c->create("invmem", "I").ok());
+  // ...but every invocation starts from zero.
+  EXPECT_EQ(c->call("I", "bump").value(), Value{2});
+  EXPECT_EQ(c->call("I", "bump").value(), Value{2});
+}
+
+TEST(CloudsMemory, PerInvocationMemoryIsPerInvocationEvenNested) {
+  auto c = makeCluster();
+  obj::ClassDef probe;
+  probe.name = "invnest";
+  probe.entry("outer", [](obj::ObjectContext& ctx, const ValueList&) -> Result<Value> {
+    ctx.invPut<std::int64_t>(0, 77);
+    // The nested invocation (same object, same thread) has its own region.
+    CLOUDS_TRY_ASSIGN(inner, ctx.callObject(ctx.self(), "inner", {}));
+    // Ours is untouched by the inner invocation.
+    return Value{ctx.invGet<std::int64_t>(0) * 1000 + inner.intOr(-1)};
+  });
+  probe.entry("inner", [](obj::ObjectContext& ctx, const ValueList&) -> Result<Value> {
+    return Value{ctx.invGet<std::int64_t>(0)};  // fresh: 0
+  });
+  c->classes().registerClass(std::move(probe));
+  ASSERT_TRUE(c->create("invnest", "I").ok());
+  EXPECT_EQ(c->call("I", "outer").value(), Value{77000});
+}
+
+TEST(CloudsMemory, PerThreadMemorySurvivesAcrossInvocationsOfOneThread) {
+  auto c = makeCluster();
+  obj::ClassDef probe;
+  probe.name = "tlsagg";
+  probe.entry("accumulate", [](obj::ObjectContext& ctx, const ValueList& args) -> Result<Value> {
+    // Each call to `accumulate` adds into per-thread memory; `driver` calls
+    // it several times within ONE thread, so state accumulates.
+    CLOUDS_TRY_ASSIGN(n, args[0].asInt());
+    const auto v = ctx.tlsGet<std::int64_t>(8) + n;
+    ctx.tlsPut<std::int64_t>(8, v);
+    return Value{v};
+  });
+  probe.entry("driver", [](obj::ObjectContext& ctx, const ValueList&) -> Result<Value> {
+    (void)ctx.callObject(ctx.self(), "accumulate", {10});
+    (void)ctx.callObject(ctx.self(), "accumulate", {20});
+    CLOUDS_TRY_ASSIGN(r, ctx.callObject(ctx.self(), "accumulate", {12}));
+    return r;
+  });
+  c->classes().registerClass(std::move(probe));
+  ASSERT_TRUE(c->create("tlsagg", "T").ok());
+  EXPECT_EQ(c->call("T", "driver").value(), Value{42});
+  // A different thread starts clean.
+  EXPECT_EQ(c->call("T", "accumulate", {5}).value(), Value{5});
+}
+
+TEST(CloudsMemory, PageSpanningTlsAccess) {
+  auto c = makeCluster();
+  obj::ClassDef probe;
+  probe.name = "tlsspan";
+  probe.entry("roundtrip", [](obj::ObjectContext& ctx, const ValueList&) -> Result<Value> {
+    Bytes blob(600);
+    for (std::size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<std::byte>(i * 3);
+    // Straddles the first/second page boundary of the 2-page region.
+    CLOUDS_TRY(ctx.writeTls(ra::kPageSize - 300, blob));
+    Bytes back(600);
+    CLOUDS_TRY(ctx.readTls(ra::kPageSize - 300, back));
+    return Value{back == blob};
+  });
+  c->classes().registerClass(std::move(probe));
+  ASSERT_TRUE(c->create("tlsspan", "T").ok());
+  EXPECT_EQ(c->call("T", "roundtrip").value(), Value{true});
+}
+
+TEST(CloudsMemory, OutOfRangeAccessesFail) {
+  auto c = makeCluster();
+  obj::ClassDef probe;
+  probe.name = "bounds";
+  probe.entry("data_oob", [](obj::ObjectContext& ctx, const ValueList&) -> Result<Value> {
+    Bytes b(16);
+    return ctx.readData(ctx.descriptor().data_size - 8, b).ok() ? Value{true} : Value{false};
+  });
+  probe.entry("tls_oob", [](obj::ObjectContext& ctx, const ValueList&) -> Result<Value> {
+    Bytes b(16);
+    return ctx.readTls(3 * ra::kPageSize, b).ok() ? Value{true} : Value{false};
+  });
+  probe.entry("heap_exhaust", [](obj::ObjectContext& ctx, const ValueList&) -> Result<Value> {
+    auto r = ctx.palloc(ctx.descriptor().pheap_size * 2);
+    return Value{r.ok()};
+  });
+  c->classes().registerClass(std::move(probe));
+  ASSERT_TRUE(c->create("bounds", "B").ok());
+  EXPECT_EQ(c->call("B", "data_oob").value(), Value{false});
+  EXPECT_EQ(c->call("B", "tls_oob").value(), Value{false});
+  EXPECT_EQ(c->call("B", "heap_exhaust").value(), Value{false});
+}
+
+TEST(CloudsMemory, AsynchronousInvocationRunsDetached) {
+  // "Active objects" (paper §2.1 box): an entry spawns a background thread
+  // that keeps working after the entry returns.
+  auto c = makeCluster();
+  obj::ClassDef active;
+  active.name = "active";
+  active.entry("kick", [](obj::ObjectContext& ctx, const ValueList&) -> Result<Value> {
+    CLOUDS_TRY(ctx.spawn("A", "background", {}));
+    return Value{std::string("kicked")};  // returns before background runs
+  });
+  active.entry("background", [](obj::ObjectContext& ctx, const ValueList&) -> Result<Value> {
+    ctx.compute(sim::msec(50));  // housekeeping chore
+    ctx.put<std::int64_t>(0, 123);
+    return Value{};
+  });
+  active.entry("check", [](obj::ObjectContext& ctx, const ValueList&) -> Result<Value> {
+    return Value{ctx.get<std::int64_t>(0)};
+  });
+  c->classes().registerClass(std::move(active));
+  ASSERT_TRUE(c->create("active", "A").ok());
+  auto kicked = c->call("A", "kick");
+  ASSERT_TRUE(kicked.ok());
+  // cluster.call drained the simulation, so the background thread has
+  // finished by now too.
+  EXPECT_EQ(c->call("A", "check").value(), Value{123});
+}
+
+}  // namespace
+}  // namespace clouds

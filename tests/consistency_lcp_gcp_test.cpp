@@ -1,0 +1,95 @@
+// The GCP/LCP distinction made visible (paper §5.2.1: gcp = "global
+// (heavyweight) consistency", lcp = "local (lightweight) consistency").
+//
+// A labelled operation updates counters on TWO data servers, then one of
+// the servers crashes before commit:
+//   GCP — distributed 2PC: the prepare at the dead server fails, the whole
+//         transaction rolls back; the surviving server shows no change.
+//   LCP — per-server commitment: the surviving server's half commits, the
+//         dead server's half is lost — observable partiality, the price of
+//         the lightweight variant.
+#include <gtest/gtest.h>
+
+#include "clouds/cluster.hpp"
+#include "clouds/standard_classes.hpp"
+
+namespace clouds {
+namespace {
+
+using obj::Value;
+using obj::ValueList;
+
+struct SplitFixture {
+  std::unique_ptr<Cluster> c;
+  bool reached_window = false;
+
+  explicit SplitFixture(obj::OpLabel label) {
+    ClusterConfig cfg;
+    cfg.compute_servers = 1;
+    cfg.data_servers = 2;
+    cfg.workstations = 0;
+    c = std::make_unique<Cluster>(cfg);
+    obj::samples::registerAll(c->classes());
+
+    obj::ClassDef mover;
+    mover.name = "splitmover";
+    mover.entry(
+        "move",
+        [this](obj::ObjectContext& ctx, const ValueList&) -> Result<Value> {
+          CLOUDS_TRY_ASSIGN(a, ctx.call("A", "add_gcp", {1}));
+          (void)a;
+          CLOUDS_TRY_ASSIGN(b, ctx.call("B", "add_gcp", {1}));
+          (void)b;
+          reached_window = true;
+          ctx.compute(sim::msec(400));  // crash lands in this window
+          return Value{true};
+        },
+        label);
+    c->classes().registerClass(std::move(mover));
+    EXPECT_TRUE(c->create("counter", "A", 0).ok());  // data server 0
+    EXPECT_TRUE(c->create("counter", "B", 1).ok());  // data server 1
+    EXPECT_TRUE(c->create("splitmover", "M", 0).ok());
+  }
+
+  // Run move(), crash data server 1 inside the pre-commit window, and
+  // return the op's result.
+  Result<Value> moveWithCrash() {
+    auto h = c->start("M", "move");
+    while (!reached_window && !h->done) c->sim().runFor(sim::msec(5));
+    EXPECT_TRUE(reached_window);
+    c->crashData(1);
+    c->run();
+    EXPECT_TRUE(h->done);
+    return h->result;
+  }
+
+  std::int64_t counterA() { return c->call("A", "value").value().asInt().valueOr(-1); }
+};
+
+TEST(LcpVsGcp, GcpRollsBackBothHalves) {
+  SplitFixture f(obj::OpLabel::gcp);
+  auto r = f.moveWithCrash();
+  EXPECT_FALSE(r.ok());  // 2PC could not prepare at the dead server
+  EXPECT_EQ(f.counterA(), 0);  // surviving server: fully rolled back
+}
+
+TEST(LcpVsGcp, LcpCommitsTheSurvivingHalf) {
+  SplitFixture f(obj::OpLabel::lcp);
+  auto r = f.moveWithCrash();
+  EXPECT_FALSE(r.ok());  // reported incomplete...
+  EXPECT_EQ(f.counterA(), 1);  // ...but the local half committed (partial!)
+}
+
+TEST(LcpVsGcp, BothAtomicWhenNothingFails) {
+  for (obj::OpLabel label : {obj::OpLabel::lcp, obj::OpLabel::gcp}) {
+    SplitFixture f(label);
+    auto h = f.c->start("M", "move");
+    f.c->run();
+    ASSERT_TRUE(h->done && h->result.ok());
+    EXPECT_EQ(f.counterA(), 1);
+    EXPECT_EQ(f.c->call("B", "value").value(), Value{1});
+  }
+}
+
+}  // namespace
+}  // namespace clouds

@@ -1,0 +1,256 @@
+// Consistency-preserving threads (paper §5.2.1): automatic segment
+// locking, 2PC commit, rollback on failure, and the s/lcp/gcp spectrum.
+#include <gtest/gtest.h>
+
+#include "clouds/cluster.hpp"
+#include "clouds/standard_classes.hpp"
+
+namespace clouds {
+namespace {
+
+using obj::Value;
+using obj::ValueList;
+
+std::unique_ptr<Cluster> makeCluster(int compute = 2, int data = 1, std::uint64_t seed = 42) {
+  ClusterConfig cfg;
+  cfg.compute_servers = compute;
+  cfg.data_servers = data;
+  cfg.seed = seed;
+  auto c = std::make_unique<Cluster>(cfg);
+  obj::samples::registerAll(c->classes());
+  return c;
+}
+
+std::int64_t total(Cluster& c, const char* entry = "total") {
+  auto r = c.call("Bank", entry);
+  EXPECT_TRUE(r.ok()) << errcName(r.code());
+  return r.ok() ? r.value().asInt().value() : -1;
+}
+
+TEST(Consistency, GcpTransferCommitsDurably) {
+  auto c = makeCluster();
+  ASSERT_TRUE(c->create("bank", "Bank").ok());
+  ASSERT_TRUE(c->call("Bank", "init", {8, 100}).ok());
+  auto r = c->call("Bank", "transfer", {0, 1, 30});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), Value{true});
+  EXPECT_EQ(c->call("Bank", "balance", {0}).value(), Value{70});
+  EXPECT_EQ(c->call("Bank", "balance", {1}).value(), Value{130});
+  EXPECT_EQ(total(*c), 800);
+  // Committed state is in the store itself, not just caches: a brand-new
+  // compute server's view (other index) agrees even after cache drop.
+  c->dsmClient(1).loseVolatileState();
+  EXPECT_EQ(c->call("Bank", "balance", {1}, 1).value(), Value{130});
+}
+
+TEST(Consistency, GcpFailureRollsBackCompletely) {
+  // The teller faults after the debit; atomicity must undo it.
+  auto c = makeCluster();
+  ASSERT_TRUE(c->create("bank", "Bank").ok());
+  ASSERT_TRUE(c->call("Bank", "init", {4, 100}).ok());
+  auto r = c->call("Bank", "transfer_fail", {0, 1, 50});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(c->call("Bank", "balance", {0}).value(), Value{100});  // debit undone
+  EXPECT_EQ(c->call("Bank", "balance", {1}).value(), Value{100});
+  EXPECT_EQ(total(*c), 400);
+}
+
+TEST(Consistency, SThreadFailureLeavesPartialUpdate) {
+  // The same fault under an S label: no recovery, the books stay broken —
+  // the paper's motivation for cp-threads.
+  auto c = makeCluster();
+  ASSERT_TRUE(c->create("bank", "Bank").ok());
+  ASSERT_TRUE(c->call("Bank", "init", {4, 100}).ok());
+  auto r = c->call("Bank", "transfer_fail_s", {0, 1, 50});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(c->call("Bank", "balance", {0}).value(), Value{50});  // debit persisted!
+  EXPECT_EQ(c->call("Bank", "balance", {1}).value(), Value{100});
+  EXPECT_EQ(total(*c, "total_s"), 350);  // money destroyed
+}
+
+TEST(Consistency, ConcurrentGcpTransfersConserveMoney) {
+  auto c = makeCluster(2);
+  ASSERT_TRUE(c->create("bank", "Bank").ok());
+  ASSERT_TRUE(c->call("Bank", "init", {16, 1000}).ok());
+  std::vector<std::shared_ptr<obj::Runtime::ThreadHandle>> handles;
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(c->start("Bank", "transfer",
+                               {(i * 3) % 16, (i * 5 + 1) % 16, 10 + i}, i % 2));
+  }
+  c->run();
+  int committed = 0;
+  for (auto& h : handles) {
+    ASSERT_TRUE(h->done);
+    if (h->result.ok()) ++committed;
+  }
+  EXPECT_GT(committed, 0);
+  EXPECT_EQ(total(*c), 16000);  // conservation regardless of outcome mix
+}
+
+TEST(Consistency, GcpSerializesConflictingCounters) {
+  // Two gcp adds from different nodes cannot lose updates (cf. the S-thread
+  // lost-update case in clouds_object_test).
+  auto c = makeCluster(2);
+  ASSERT_TRUE(c->create("counter", "C").ok());
+  std::vector<std::shared_ptr<obj::Runtime::ThreadHandle>> handles;
+  for (int i = 0; i < 6; ++i) handles.push_back(c->start("C", "add_gcp", {1}, i % 2));
+  c->run();
+  int ok = 0;
+  for (auto& h : handles) {
+    ASSERT_TRUE(h->done);
+    if (h->result.ok()) ++ok;
+  }
+  EXPECT_EQ(c->call("C", "value").value(), Value{ok});
+  EXPECT_EQ(ok, 6);  // with retries every add eventually commits
+}
+
+TEST(Consistency, LcpSerializesOnOneServerToo) {
+  auto c = makeCluster(2);
+  ASSERT_TRUE(c->create("counter", "C").ok());
+  std::vector<std::shared_ptr<obj::Runtime::ThreadHandle>> handles;
+  for (int i = 0; i < 6; ++i) handles.push_back(c->start("C", "add_lcp", {1}, i % 2));
+  c->run();
+  int ok = 0;
+  for (auto& h : handles) {
+    ASSERT_TRUE(h->done);
+    if (h->result.ok()) ++ok;
+  }
+  EXPECT_EQ(c->call("C", "value").value(), Value{ok});
+}
+
+TEST(Consistency, AbortedWritesNeverVisibleElsewhere) {
+  auto c = makeCluster(2);
+  ASSERT_TRUE(c->create("bank", "Bank").ok());
+  ASSERT_TRUE(c->call("Bank", "init", {4, 100}).ok());
+  // Failing transfer on node 0; reader on node 1 checks afterwards.
+  (void)c->call("Bank", "transfer_fail", {0, 1, 60}, 0);
+  EXPECT_EQ(c->call("Bank", "balance", {0}, 1).value(), Value{100});
+  EXPECT_EQ(total(*c), 400);
+}
+
+TEST(Consistency, DataServerCrashDuringGcpPreservesAtomicity) {
+  // Crash the data server *after* commit completes, restart it, and check
+  // the committed state survived (durable log + images).
+  auto c = makeCluster(1, 1);
+  ASSERT_TRUE(c->create("bank", "Bank").ok());
+  ASSERT_TRUE(c->call("Bank", "init", {4, 100}).ok());
+  ASSERT_TRUE(c->call("Bank", "transfer", {0, 1, 25}).ok());
+  c->crashData(0);
+  c->dsmClient(0).loseVolatileState();  // be adversarial: drop client caches too
+  c->restartData(0);
+  EXPECT_EQ(c->call("Bank", "balance", {0}).value(), Value{75});
+  EXPECT_EQ(c->call("Bank", "balance", {1}).value(), Value{125});
+}
+
+TEST(Consistency, ComputeCrashMidTransactionLeavesNoPartialState) {
+  auto c = makeCluster(2, 1);
+  ASSERT_TRUE(c->create("bank", "Bank").ok());
+  ASSERT_TRUE(c->call("Bank", "init", {4, 100}).ok());
+  // Start a transfer on node 0 and crash the node mid-flight.
+  auto h = c->start("Bank", "transfer", {0, 1, 40}, 0);
+  c->sim().runFor(sim::msec(12));  // inside the operation, before commit
+  c->crashCompute(0);
+  c->run();
+  EXPECT_FALSE(h->done);
+  // The dirty pages died with node 0; the store still holds the old state,
+  // and locks expire via the lease so node 1 (the survivor) can proceed.
+  auto t1 = c->call("Bank", "total", {}, 1);
+  ASSERT_TRUE(t1.ok()) << errcName(t1.code());
+  EXPECT_EQ(t1.value(), Value{400});
+  EXPECT_EQ(c->call("Bank", "balance", {0}, 1).value(), Value{100});
+}
+
+TEST(Consistency, DeadlockResolvedByAbortAndRetry) {
+  // Two transfers with opposite lock orders on two *different* objects
+  // (segments), forcing a cross deadlock; both must eventually commit via
+  // the timeout/retry policy.
+  auto c = makeCluster(2, 2);
+  obj::ClassDef mover;
+  mover.name = "mover";
+  mover.entry(
+      "take_two",
+      [](obj::ObjectContext& ctx, const ValueList& args) -> Result<Value> {
+        CLOUDS_TRY_ASSIGN(first, args[0].asString());
+        CLOUDS_TRY_ASSIGN(second, args[1].asString());
+        CLOUDS_TRY_ASSIGN(a, ctx.call(first, "add_gcp", {1}));
+        (void)a;
+        ctx.compute(sim::msec(30));  // widen the deadlock window
+        CLOUDS_TRY_ASSIGN(b, ctx.call(second, "add_gcp", {1}));
+        (void)b;
+        return Value{true};
+      },
+      obj::OpLabel::gcp);
+  c->classes().registerClass(std::move(mover));
+  ASSERT_TRUE(c->create("counter", "X", 0).ok());
+  ASSERT_TRUE(c->create("counter", "Y", 1).ok());
+  ASSERT_TRUE(c->create("mover", "M").ok());
+  auto h1 = c->start("M", "take_two", {std::string("X"), std::string("Y")}, 0);
+  auto h2 = c->start("M", "take_two", {std::string("Y"), std::string("X")}, 1);
+  c->run();
+  ASSERT_TRUE(h1->done && h2->done);
+  EXPECT_TRUE(h1->result.ok()) << h1->result.error().toString();
+  EXPECT_TRUE(h2->result.ok()) << h2->result.error().toString();
+  EXPECT_EQ(c->call("X", "value").value(), Value{2});
+  EXPECT_EQ(c->call("Y", "value").value(), Value{2});
+}
+
+TEST(Consistency, ObjectsOnDifferentServersCommitAtomically) {
+  // A gcp operation spanning two data servers exercises real distributed
+  // 2PC: either both counters move or neither.
+  auto c = makeCluster(1, 2);
+  obj::ClassDef mover;
+  mover.name = "mover2";
+  mover.entry(
+      "move",
+      [](obj::ObjectContext& ctx, const ValueList& args) -> Result<Value> {
+        CLOUDS_TRY_ASSIGN(fail, args[0].asBool());
+        CLOUDS_TRY_ASSIGN(a, ctx.call("A", "add_gcp", {1}));
+        (void)a;
+        if (fail) return makeError(Errc::internal, "fault between the two updates");
+        CLOUDS_TRY_ASSIGN(b, ctx.call("B", "add_gcp", {-1}));
+        (void)b;
+        return Value{true};
+      },
+      obj::OpLabel::gcp);
+  c->classes().registerClass(std::move(mover));
+  ASSERT_TRUE(c->create("counter", "A", 0).ok());
+  ASSERT_TRUE(c->create("counter", "B", 1).ok());
+  ASSERT_TRUE(c->create("mover2", "M").ok());
+  // Failing run: nothing moves.
+  EXPECT_FALSE(c->call("M", "move", {true}).ok());
+  EXPECT_EQ(c->call("A", "value").value(), Value{0});
+  EXPECT_EQ(c->call("B", "value").value(), Value{0});
+  // Successful run: both move.
+  ASSERT_TRUE(c->call("M", "move", {false}).ok());
+  EXPECT_EQ(c->call("A", "value").value(), Value{1});
+  EXPECT_EQ(c->call("B", "value").value(), Value{-1});
+}
+
+// Property sweep: random transfer mixes with failures injected as
+// transfer_fail calls; conservation must hold under every label that
+// provides recovery, at every seed.
+class ConservationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConservationSweep, GcpConservesUnderRandomMix) {
+  auto c = makeCluster(2, 1, GetParam());
+  ASSERT_TRUE(c->create("bank", "Bank").ok());
+  ASSERT_TRUE(c->call("Bank", "init", {12, 500}).ok());
+  auto& rng = c->sim().rng();
+  std::vector<std::shared_ptr<obj::Runtime::ThreadHandle>> handles;
+  for (int i = 0; i < 14; ++i) {
+    const auto from = static_cast<std::int64_t>(rng() % 12);
+    const auto to = static_cast<std::int64_t>(rng() % 12);
+    const auto amt = static_cast<std::int64_t>(rng() % 200);
+    const bool fail = rng() % 4 == 0;
+    handles.push_back(c->start("Bank", fail ? "transfer_fail" : "transfer",
+                               {from, to, amt}, i % 2));
+  }
+  c->run();
+  for (auto& h : handles) ASSERT_TRUE(h->done);
+  EXPECT_EQ(total(*c), 6000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConservationSweep, ::testing::Values(1, 7, 99, 1234));
+
+}  // namespace
+}  // namespace clouds

@@ -1,0 +1,200 @@
+// DSM edge cases: stale grants under network mischief, server crash during
+// faults, directory healing, write-back races, multi-server segments.
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+
+namespace clouds::test {
+namespace {
+
+using ra::Access;
+using ra::kPageSize;
+
+struct EdgeBed : Testbed {
+  Sysname seg;
+  explicit EdgeBed(int n_compute = 2, int n_data = 1, std::uint64_t seed = 42,
+                   std::size_t frames = 2048)
+      : Testbed(n_compute, n_data, seed, frames) {
+    seg = data[0].store->createSegment(8 * kPageSize).value();
+  }
+  std::uint64_t read64(sim::Process& self, int node, std::uint32_t page) {
+    auto h = compute[static_cast<std::size_t>(node)].dsm->resolvePage(self, {seg, page},
+                                                                      Access::read);
+    EXPECT_TRUE(h.ok());
+    std::uint64_t v = 0;
+    if (h.ok()) std::memcpy(&v, h.value().data, 8);
+    return v;
+  }
+  void write64(sim::Process& self, int node, std::uint32_t page, std::uint64_t v) {
+    auto h = compute[static_cast<std::size_t>(node)].dsm->resolvePage(self, {seg, page},
+                                                                      Access::write);
+    ASSERT_TRUE(h.ok());
+    std::memcpy(h.value().data, &v, 8);
+  }
+};
+
+TEST(DsmEdge, CoherenceSurvivesRandomFrameLoss) {
+  // Retransmission + versioned grants must keep one-copy semantics intact
+  // under 20% loss: the writer/reader ping-pong below never observes a
+  // stale value.
+  EdgeBed f(2, 1, 77);
+  f.cost.dsm_callback_retries = 8;  // lossy wire, but nobody actually died
+  f.ether.setDropRate(0.2);
+  f.sim.spawn("driver", [&](sim::Process& self) {
+    for (std::uint64_t i = 1; i <= 25; ++i) {
+      const int writer = static_cast<int>(i % 2);
+      f.write64(self, writer, 0, i);
+      EXPECT_EQ(f.read64(self, 1 - writer, 0), i) << "round " << i;
+    }
+  });
+  f.sim.run();
+  EXPECT_GT(f.compute[0].node->ratp().stats().retransmissions +
+                f.compute[1].node->ratp().stats().retransmissions,
+            0u);
+}
+
+TEST(DsmEdge, FaultDuringDataServerCrashFailsThenRecovers) {
+  EdgeBed f;
+  f.sim.spawn("driver", [&](sim::Process& self) {
+    f.write64(self, 0, 0, 7);
+    ASSERT_TRUE(f.compute[0].dsm->flushSegment(self, f.seg).ok());
+    f.data[0].node->crash();
+    f.compute[1].dsm->dropSegment(f.seg);
+    auto h = f.compute[1].dsm->resolvePage(self, {f.seg, 0}, Access::read);
+    EXPECT_FALSE(h.ok());  // server unreachable
+    f.data[0].node->restart();
+    // Directory was volatile and is gone; faults rebuild it from the store.
+    f.compute[0].dsm->loseVolatileState();
+    EXPECT_EQ(f.read64(self, 1, 0), 7u);
+    EXPECT_EQ(f.read64(self, 0, 0), 7u);
+  });
+  f.sim.run();
+}
+
+TEST(DsmEdge, DirectoryHealsAfterClientDropsExclusiveFrame) {
+  EdgeBed f;
+  f.sim.spawn("driver", [&](sim::Process& self) {
+    f.write64(self, 0, 0, 5);          // exclusive at node 0
+    f.compute[0].dsm->dropSegment(f.seg);  // abort-style drop, server not told
+    // Node 0 itself refaults: the server sees owner==requester and heals.
+    EXPECT_EQ(f.read64(self, 0, 0), 0u);  // store never saw the write
+    f.write64(self, 0, 0, 9);
+    EXPECT_EQ(f.read64(self, 1, 0), 9u);
+  });
+  f.sim.run();
+}
+
+TEST(DsmEdge, EvictionWritebackRacingInvalidateLosesNothing) {
+  // Tiny cache on node 0: writing page 2 evicts dirty page 0 (write-back in
+  // flight) while node 1 concurrently writes page 0 (invalidate). Whatever
+  // interleaving results, node 1's value must win and no write "resurrects".
+  EdgeBed f(2, 1, 42, /*frames=*/2);
+  f.sim.spawn("node0", [&](sim::Process& self) {
+    f.write64(self, 0, 0, 100);
+    f.write64(self, 0, 1, 101);
+    f.write64(self, 0, 2, 102);  // evicts page 0 (dirty)
+  });
+  f.sim.spawn("node1", [&](sim::Process& self) {
+    self.delay(sim::msec(8));
+    f.write64(self, 1, 0, 200);
+  });
+  f.sim.run();
+  f.sim.spawn("check", [&](sim::Process& self) {
+    EXPECT_EQ(f.read64(self, 1, 0), 200u);
+    EXPECT_EQ(f.read64(self, 0, 1), 101u);
+    EXPECT_EQ(f.read64(self, 0, 2), 102u);
+  });
+  f.sim.run();
+}
+
+TEST(DsmEdge, SegmentsOnTwoServersAreIndependent) {
+  EdgeBed f(1, 2);
+  const Sysname other = f.data[1].store->createSegment(2 * kPageSize).value();
+  f.sim.spawn("driver", [&](sim::Process& self) {
+    f.write64(self, 0, 0, 11);
+    auto h = f.compute[0].dsm->resolvePage(self, {other, 0}, Access::write);
+    ASSERT_TRUE(h.ok());
+    std::uint64_t v = 22;
+    std::memcpy(h.value().data, &v, 8);
+    // Crash server 1: segment `other` is unreachable, seg stays fine.
+    f.data[1].node->crash();
+    f.compute[0].dsm->dropSegment(other);
+    EXPECT_FALSE(f.compute[0].dsm->resolvePage(self, {other, 0}, Access::read).ok());
+    EXPECT_EQ(f.read64(self, 0, 0), 11u);
+  });
+  f.sim.run();
+}
+
+TEST(DsmEdge, DestroyedSegmentFaultsEverywhere) {
+  EdgeBed f(2, 1);
+  f.sim.spawn("driver", [&](sim::Process& self) {
+    f.write64(self, 0, 0, 3);
+    ASSERT_TRUE(f.compute[0].dsm->destroySegment(self, f.seg).ok());
+    EXPECT_EQ(f.compute[1].dsm->resolvePage(self, {f.seg, 0}, Access::read).code(),
+              Errc::not_found);
+    // Node 0's own cached frames were dropped by destroy as well.
+    EXPECT_EQ(f.compute[0].dsm->resolvePage(self, {f.seg, 0}, Access::read).code(),
+              Errc::not_found);
+  });
+  f.sim.run();
+}
+
+TEST(DsmEdge, FlushAllWritesEveryDirtySegment) {
+  EdgeBed f(1, 2);
+  const Sysname other = f.data[1].store->createSegment(2 * kPageSize).value();
+  f.sim.spawn("driver", [&](sim::Process& self) {
+    f.write64(self, 0, 0, 41);
+    auto h = f.compute[0].dsm->resolvePage(self, {other, 1}, Access::write);
+    ASSERT_TRUE(h.ok());
+    std::uint64_t v = 42;
+    std::memcpy(h.value().data, &v, 8);
+    ASSERT_TRUE(f.compute[0].dsm->flushAll(self).ok());
+    Bytes page(kPageSize);
+    ASSERT_TRUE(f.data[0].store->readPage(self, {f.seg, 0}, page).ok());
+    std::uint64_t got = 0;
+    std::memcpy(&got, page.data(), 8);
+    EXPECT_EQ(got, 41u);
+    ASSERT_TRUE(f.data[1].store->readPage(self, {other, 1}, page).ok());
+    std::memcpy(&got, page.data(), 8);
+    EXPECT_EQ(got, 42u);
+  });
+  f.sim.run();
+}
+
+// Property sweep: random per-page single-writer programs under varying frame
+// capacities (eviction pressure) must preserve read-your-writes and final
+// store contents after flush.
+class DsmCapacitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DsmCapacitySweep, ReadYourWritesUnderEvictionPressure) {
+  const auto frames = static_cast<std::size_t>(GetParam());
+  EdgeBed f(1, 1, 99, frames);
+  f.sim.spawn("driver", [&](sim::Process& self) {
+    std::uint64_t expect[8] = {};
+    auto& rng = f.sim.rng();
+    for (int step = 0; step < 60; ++step) {
+      const auto page = static_cast<std::uint32_t>(rng() % 8);
+      if (rng() % 2 == 0) {
+        const std::uint64_t v = rng();
+        f.write64(self, 0, page, v);
+        expect[page] = v;
+      } else {
+        EXPECT_EQ(f.read64(self, 0, page), expect[page]) << "step " << step;
+      }
+    }
+    ASSERT_TRUE(f.compute[0].dsm->flushAll(self).ok());
+    for (std::uint32_t p = 0; p < 8; ++p) {
+      Bytes page(kPageSize);
+      ASSERT_TRUE(f.data[0].store->readPage(self, {f.seg, p}, page).ok());
+      std::uint64_t got = 0;
+      std::memcpy(&got, page.data(), 8);
+      EXPECT_EQ(got, expect[p]) << "page " << p;
+    }
+  });
+  f.sim.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(FrameCapacities, DsmCapacitySweep, ::testing::Values(2, 3, 8, 64));
+
+}  // namespace
+}  // namespace clouds::test

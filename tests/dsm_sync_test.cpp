@@ -1,0 +1,153 @@
+// Segment locks and distributed semaphores (paper §3.2, §4.2).
+#include <gtest/gtest.h>
+
+#include "testbed.hpp"
+
+namespace clouds::test {
+namespace {
+
+using dsm::LockMode;
+using ra::kPageSize;
+
+struct SyncFixture : Testbed {
+  Sysname seg;
+  SyncFixture() : Testbed(2, 1) { seg = data[0].store->createSegment(kPageSize).value(); }
+};
+
+TEST(DsmLocks, ExclusiveExcludesAndUnlockAllReleases) {
+  SyncFixture f;
+  std::vector<int> order;
+  f.sim.spawn("t1", [&](sim::Process& self) {
+    ASSERT_TRUE(f.compute[0].sync->lock(self, f.seg, LockMode::exclusive, 1).ok());
+    order.push_back(1);
+    self.delay(sim::msec(50));
+    order.push_back(2);
+    ASSERT_TRUE(f.compute[0].sync->unlockAll(self, f.data[0].node->id(), 1).ok());
+  });
+  f.sim.spawn("t2", [&](sim::Process& self) {
+    self.delay(sim::msec(10));
+    ASSERT_TRUE(f.compute[1].sync->lock(self, f.seg, LockMode::exclusive, 2).ok());
+    order.push_back(3);
+    ASSERT_TRUE(f.compute[1].sync->unlockAll(self, f.data[0].node->id(), 2).ok());
+  });
+  f.sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DsmLocks, SharedHoldersCoexist) {
+  SyncFixture f;
+  int concurrent = 0;
+  int max_concurrent = 0;
+  for (int i = 0; i < 2; ++i) {
+    f.sim.spawn("r" + std::to_string(i), [&, i](sim::Process& self) {
+      ASSERT_TRUE(
+          f.compute[static_cast<std::size_t>(i)].sync->lock(self, f.seg, LockMode::shared,
+                                                            static_cast<std::uint64_t>(i + 1))
+              .ok());
+      ++concurrent;
+      max_concurrent = std::max(max_concurrent, concurrent);
+      self.delay(sim::msec(30));
+      --concurrent;
+      ASSERT_TRUE(f.compute[static_cast<std::size_t>(i)]
+                      .sync->unlockAll(self, f.data[0].node->id(), static_cast<std::uint64_t>(i + 1))
+                      .ok());
+    });
+  }
+  f.sim.run();
+  EXPECT_EQ(max_concurrent, 2);
+}
+
+TEST(DsmLocks, WriterExcludedByReaderUntilRelease) {
+  SyncFixture f;
+  sim::TimePoint writer_got = sim::kZero;
+  f.sim.spawn("reader", [&](sim::Process& self) {
+    ASSERT_TRUE(f.compute[0].sync->lock(self, f.seg, LockMode::shared, 1).ok());
+    self.delay(sim::msec(60));
+    ASSERT_TRUE(f.compute[0].sync->unlockAll(self, f.data[0].node->id(), 1).ok());
+  });
+  f.sim.spawn("writer", [&](sim::Process& self) {
+    self.delay(sim::msec(5));
+    ASSERT_TRUE(f.compute[1].sync->lock(self, f.seg, LockMode::exclusive, 2).ok());
+    writer_got = f.sim.now();
+  });
+  f.sim.run();
+  EXPECT_GE(writer_got, sim::msec(60));
+}
+
+TEST(DsmLocks, SharedToExclusiveUpgrade) {
+  SyncFixture f;
+  f.sim.spawn("t", [&](sim::Process& self) {
+    ASSERT_TRUE(f.compute[0].sync->lock(self, f.seg, LockMode::shared, 1).ok());
+    ASSERT_TRUE(f.compute[0].sync->lock(self, f.seg, LockMode::exclusive, 1).ok());
+    // Still exclusive: another owner must wait (and hit the deadlock bound).
+    auto r = f.compute[1].sync->lock(self, f.seg, LockMode::exclusive, 2);
+    EXPECT_EQ(r.code(), Errc::deadlock);
+  });
+  f.sim.run();
+}
+
+TEST(DsmLocks, ConflictTimesOutAsDeadlock) {
+  SyncFixture f;
+  Errc code = Errc::ok;
+  f.sim.spawn("holder", [&](sim::Process& self) {
+    ASSERT_TRUE(f.compute[0].sync->lock(self, f.seg, LockMode::exclusive, 1).ok());
+    self.delay(sim::sec(3));  // hold past the wait bound
+    ASSERT_TRUE(f.compute[0].sync->unlockAll(self, f.data[0].node->id(), 1).ok());
+  });
+  f.sim.spawn("loser", [&](sim::Process& self) {
+    self.delay(sim::msec(5));
+    code = f.compute[1].sync->lock(self, f.seg, LockMode::exclusive, 2).code();
+  });
+  f.sim.run();
+  EXPECT_EQ(code, Errc::deadlock);
+}
+
+TEST(DsmLocks, ReentrantAcquireIsIdempotent) {
+  SyncFixture f;
+  f.sim.spawn("t", [&](sim::Process& self) {
+    ASSERT_TRUE(f.compute[0].sync->lock(self, f.seg, LockMode::exclusive, 1).ok());
+    ASSERT_TRUE(f.compute[0].sync->lock(self, f.seg, LockMode::exclusive, 1).ok());
+    ASSERT_TRUE(f.compute[0].sync->lock(self, f.seg, LockMode::shared, 1).ok());
+    ASSERT_TRUE(f.compute[0].sync->unlockAll(self, f.data[0].node->id(), 1).ok());
+    // Fully released: another owner acquires immediately.
+    ASSERT_TRUE(f.compute[1].sync->lock(self, f.seg, LockMode::exclusive, 2).ok());
+  });
+  f.sim.run();
+}
+
+TEST(DsmSemaphores, CrossNodeProducerConsumer) {
+  SyncFixture f;
+  std::vector<int> consumed;
+  std::uint64_t sem = 0;
+  f.sim.spawn("setup", [&](sim::Process& self) {
+    auto r = f.compute[0].sync->semCreate(self, f.data[0].node->id(), 0);
+    ASSERT_TRUE(r.ok());
+    sem = r.value();
+    f.sim.spawn("consumer", [&](sim::Process& c) {
+      for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(f.compute[1].sync->semP(c, sem).ok());
+        consumed.push_back(i);
+      }
+    });
+    f.sim.spawn("producer", [&](sim::Process& p) {
+      for (int i = 0; i < 3; ++i) {
+        p.delay(sim::msec(20));
+        ASSERT_TRUE(f.compute[0].sync->semV(p, sem).ok());
+      }
+    });
+  });
+  f.sim.run();
+  EXPECT_EQ(consumed.size(), 3u);
+}
+
+TEST(DsmSemaphores, UnknownSemaphoreFails) {
+  SyncFixture f;
+  f.sim.spawn("t", [&](sim::Process& self) {
+    const std::uint64_t bogus = (static_cast<std::uint64_t>(f.data[0].node->id()) << 32) | 9999;
+    EXPECT_EQ(f.compute[0].sync->semV(self, bogus).code(), Errc::not_found);
+  });
+  f.sim.run();
+}
+
+}  // namespace
+}  // namespace clouds::test

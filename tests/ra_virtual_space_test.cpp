@@ -1,0 +1,82 @@
+#include "ra/virtual_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clouds::ra {
+namespace {
+
+Sysname seg(std::uint64_t n) { return makeHomedSysname(100, n); }
+
+TEST(VirtualSpace, MapAndTranslate) {
+  VirtualSpace vs;
+  ASSERT_TRUE(vs.map({0x10000000, 4 * kPageSize, seg(1), 0, true}).ok());
+  auto t = vs.translate(0x10000000 + kPageSize + 17, Access::read);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().segment, seg(1));
+  EXPECT_EQ(t.value().seg_offset, kPageSize + 17);
+  EXPECT_EQ(t.value().contiguous, 3 * kPageSize - 17);
+}
+
+TEST(VirtualSpace, SegmentOffsetMapping) {
+  VirtualSpace vs;
+  // Map the third page of the segment at base.
+  ASSERT_TRUE(vs.map({0x20000000, kPageSize, seg(2), 2 * kPageSize, true}).ok());
+  auto t = vs.translate(0x20000000 + 5, Access::write);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().seg_offset, 2 * kPageSize + 5);
+}
+
+TEST(VirtualSpace, HolesFaultWithProtection) {
+  VirtualSpace vs;
+  ASSERT_TRUE(vs.map({0x10000000, kPageSize, seg(1), 0, true}).ok());
+  ASSERT_TRUE(vs.map({0x30000000, kPageSize, seg(2), 0, true}).ok());
+  EXPECT_EQ(vs.translate(0x20000000, Access::read).code(), Errc::protection);
+  EXPECT_EQ(vs.translate(0x10000000 + kPageSize, Access::read).code(), Errc::protection);
+  EXPECT_EQ(vs.translate(0, Access::read).code(), Errc::protection);
+}
+
+TEST(VirtualSpace, WriteToReadOnlyRejected) {
+  VirtualSpace vs;
+  ASSERT_TRUE(vs.map({0x10000000, kPageSize, seg(1), 0, /*writable=*/false}).ok());
+  EXPECT_TRUE(vs.translate(0x10000000, Access::read).ok());
+  EXPECT_EQ(vs.translate(0x10000000, Access::write).code(), Errc::protection);
+}
+
+TEST(VirtualSpace, OverlapRejected) {
+  VirtualSpace vs;
+  ASSERT_TRUE(vs.map({0x10000000, 2 * kPageSize, seg(1), 0, true}).ok());
+  EXPECT_EQ(vs.map({0x10000000 + kPageSize, kPageSize, seg(2), 0, true}).code(),
+            Errc::already_exists);
+  EXPECT_EQ(vs.map({0x10000000 - kPageSize, 2 * kPageSize, seg(2), 0, true}).code(),
+            Errc::already_exists);
+  // Adjacent is fine.
+  EXPECT_TRUE(vs.map({0x10000000 + 2 * kPageSize, kPageSize, seg(2), 0, true}).ok());
+}
+
+TEST(VirtualSpace, MisalignedRejected) {
+  VirtualSpace vs;
+  EXPECT_EQ(vs.map({0x10000100, kPageSize, seg(1), 0, true}).code(), Errc::bad_argument);
+  EXPECT_EQ(vs.map({0x10000000, kPageSize, seg(1), 100, true}).code(), Errc::bad_argument);
+  EXPECT_EQ(vs.map({0x10000000, 0, seg(1), 0, true}).code(), Errc::bad_argument);
+}
+
+TEST(VirtualSpace, UnmapRestoresHole) {
+  VirtualSpace vs;
+  ASSERT_TRUE(vs.map({0x10000000, kPageSize, seg(1), 0, true}).ok());
+  ASSERT_TRUE(vs.unmap(0x10000000).ok());
+  EXPECT_EQ(vs.translate(0x10000000, Access::read).code(), Errc::protection);
+  EXPECT_EQ(vs.unmap(0x10000000).code(), Errc::not_found);
+  // Remap at the same base with a different segment (stack remapping).
+  ASSERT_TRUE(vs.map({0x10000000, kPageSize, seg(9), 0, true}).ok());
+  EXPECT_EQ(vs.translate(0x10000000, Access::read).value().segment, seg(9));
+}
+
+TEST(SysnameHoming, RoundTrip) {
+  const Sysname s = makeHomedSysname(105, 77);
+  EXPECT_TRUE(isSegmentName(s));
+  EXPECT_EQ(sysnameHome(s), 105u);
+  EXPECT_FALSE(isSegmentName(Sysname(1, 2)));
+}
+
+}  // namespace
+}  // namespace clouds::ra

@@ -1,0 +1,82 @@
+// The scheduling decision of paper §3.2: pick a compute server by load.
+#include <gtest/gtest.h>
+
+#include "clouds/cluster.hpp"
+#include "clouds/standard_classes.hpp"
+
+namespace clouds {
+namespace {
+
+struct SchedFixture {
+  Cluster cluster;
+  SchedFixture() : cluster(config()) {
+    obj::samples::registerAll(cluster.classes());
+    (void)cluster.create("counter", "C");
+  }
+  static ClusterConfig config() {
+    ClusterConfig cfg;
+    cfg.compute_servers = 3;
+    cfg.data_servers = 1;
+    cfg.workstations = 0;
+    return cfg;
+  }
+};
+
+TEST(Scheduler, IdleClusterPicksFirstServer) {
+  SchedFixture f;
+  EXPECT_EQ(f.cluster.scheduleComputeServer(), 0);
+}
+
+TEST(Scheduler, AvoidsLoadedServers) {
+  SchedFixture f;
+  obj::ClassDef slow;
+  slow.name = "slow";
+  slow.entry("work", [](obj::ObjectContext& ctx, const obj::ValueList&) -> Result<obj::Value> {
+    ctx.compute(sim::sec(1));
+    return obj::Value{};
+  });
+  f.cluster.classes().registerClass(std::move(slow));
+  ASSERT_TRUE(f.cluster.create("slow", "S").ok());
+  // Two long threads on server 0, one on server 1.
+  auto a = f.cluster.start("S", "work", {}, 0);
+  auto b = f.cluster.start("S", "work", {}, 0);
+  auto c = f.cluster.start("S", "work", {}, 1);
+  f.cluster.sim().runFor(sim::msec(200));  // everyone is mid-compute
+  EXPECT_EQ(f.cluster.scheduleComputeServer(), 2);  // the idle one
+  f.cluster.run();
+  EXPECT_TRUE(a->done && b->done && c->done);
+}
+
+TEST(Scheduler, SkipsDeadServers) {
+  SchedFixture f;
+  f.cluster.crashCompute(0);
+  EXPECT_EQ(f.cluster.scheduleComputeServer(), 1);
+  f.cluster.crashCompute(1);
+  EXPECT_EQ(f.cluster.scheduleComputeServer(), 2);
+}
+
+TEST(Scheduler, BalancedStartSpreadsThreads) {
+  SchedFixture f;
+  obj::ClassDef slow;
+  slow.name = "slow";
+  slow.entry("work", [](obj::ObjectContext& ctx, const obj::ValueList&) -> Result<obj::Value> {
+    ctx.compute(sim::msec(300));
+    return obj::Value{};
+  });
+  f.cluster.classes().registerClass(std::move(slow));
+  ASSERT_TRUE(f.cluster.create("slow", "S").ok());
+  std::vector<std::shared_ptr<obj::Runtime::ThreadHandle>> handles;
+  for (int i = 0; i < 3; ++i) {
+    handles.push_back(f.cluster.startBalanced("S", "work"));
+    f.cluster.sim().runFor(sim::msec(1));  // let placement register
+  }
+  // Three threads landed on three distinct servers.
+  EXPECT_GE(f.cluster.runtime(0).liveThreadCount(), 1u);
+  EXPECT_GE(f.cluster.runtime(1).liveThreadCount(), 1u);
+  EXPECT_GE(f.cluster.runtime(2).liveThreadCount(), 1u);
+  f.cluster.run();
+  for (auto& h : handles) EXPECT_TRUE(h->done && h->result.ok());
+}
+
+}  // namespace
+}  // namespace clouds

@@ -1,0 +1,75 @@
+#include "clouds/shell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "clouds/standard_classes.hpp"
+
+namespace clouds {
+namespace {
+
+struct ShellFixture {
+  Cluster cluster;
+  Shell shell{cluster};
+
+  ShellFixture() : cluster(config()) { obj::samples::registerAll(cluster.classes()); }
+  static ClusterConfig config() {
+    ClusterConfig cfg;
+    cfg.compute_servers = 2;
+    cfg.data_servers = 1;
+    cfg.workstations = 1;
+    return cfg;
+  }
+  std::string terminal() { return cluster.workstation(0).joinedOutput(0); }
+};
+
+TEST(Shell, PaperSession) {
+  ShellFixture f;
+  EXPECT_TRUE(f.shell.execute("create rectangle Rect01"));
+  EXPECT_TRUE(f.shell.execute("invoke Rect01.size 5 10"));
+  EXPECT_TRUE(f.shell.execute("invoke Rect01.area"));
+  EXPECT_NE(f.terminal().find("Rect01.area -> 50"), std::string::npos);
+}
+
+TEST(Shell, QuotedStringsStayStrings) {
+  ShellFixture f;
+  ASSERT_TRUE(f.shell.execute("create file F"));
+  ASSERT_TRUE(f.shell.execute("invoke F.append \"42\""));  // two bytes, not an int
+  ASSERT_TRUE(f.shell.execute("invoke F.size"));
+  EXPECT_NE(f.terminal().find("F.size -> 2"), std::string::npos);
+}
+
+TEST(Shell, QuotedStringsWithSpaces) {
+  ShellFixture f;
+  ASSERT_TRUE(f.shell.execute("create file F"));
+  ASSERT_TRUE(f.shell.execute("invoke F.append \"hello shell world\""));
+  ASSERT_TRUE(f.shell.execute("invoke F.size"));
+  EXPECT_NE(f.terminal().find("F.size -> 17"), std::string::npos);
+}
+
+TEST(Shell, ErrorsAreReportedNotFatal) {
+  ShellFixture f;
+  EXPECT_FALSE(f.shell.execute("invoke Missing.noop"));
+  EXPECT_FALSE(f.shell.execute("create nosuchclass X"));
+  EXPECT_FALSE(f.shell.execute("frobnicate"));
+  EXPECT_FALSE(f.shell.execute("invoke MalformedNoDot"));
+  EXPECT_NE(f.terminal().find("error:"), std::string::npos);
+  // The shell survives: a good command still works.
+  EXPECT_TRUE(f.shell.execute("create counter C"));
+}
+
+TEST(Shell, CommentsAndScript) {
+  ShellFixture f;
+  const int failures = f.shell.executeScript(R"(# setup
+create counter C
+invoke C.add 41
+invoke C.add 1
+invoke C.value
+names
+)");
+  EXPECT_EQ(failures, 0);
+  EXPECT_NE(f.terminal().find("C.value -> 42"), std::string::npos);
+  EXPECT_NE(f.terminal().find("names:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clouds

@@ -1,0 +1,212 @@
+#include "sim/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace clouds::sim {
+namespace {
+
+TEST(SimMutex, ProvidesMutualExclusion) {
+  Simulation sim;
+  SimMutex mu;
+  int inside = 0;
+  int max_inside = 0;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn("p" + std::to_string(i), [&](Process& self) {
+      SimLockGuard g(mu, self);
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      self.delay(msec(10));
+      --inside;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_EQ(sim.now(), msec(40));  // fully serialized
+}
+
+TEST(SimMutex, FifoOrder) {
+  Simulation sim;
+  SimMutex mu;
+  std::vector<int> order;
+  sim.spawn("holder", [&](Process& self) {
+    mu.lock(self);
+    self.delay(msec(10));
+    mu.unlock();
+  });
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn("w" + std::to_string(i), [&, i](Process& self) {
+      self.delay(msec(1 + i));  // arrive in index order
+      mu.lock(self);
+      order.push_back(i);
+      mu.unlock();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimMutex, LockForTimesOut) {
+  Simulation sim;
+  SimMutex mu;
+  bool got = true;
+  sim.spawn("holder", [&](Process& self) {
+    mu.lock(self);
+    self.delay(msec(100));
+    mu.unlock();
+  });
+  sim.spawn("waiter", [&](Process& self) {
+    self.delay(msec(1));
+    got = mu.lockFor(self, msec(20));
+  });
+  sim.run();
+  EXPECT_FALSE(got);
+}
+
+TEST(SimMutex, LockForSucceedsWhenReleasedInTime) {
+  Simulation sim;
+  SimMutex mu;
+  bool got = false;
+  sim.spawn("holder", [&](Process& self) {
+    mu.lock(self);
+    self.delay(msec(10));
+    mu.unlock();
+  });
+  sim.spawn("waiter", [&](Process& self) {
+    self.delay(msec(1));
+    got = mu.lockFor(self, msec(60));
+    if (got) mu.unlock();
+  });
+  sim.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(SimSemaphore, ProducerConsumer) {
+  Simulation sim;
+  SimSemaphore items(0);
+  std::vector<int> consumed;
+  sim.spawn("consumer", [&](Process& self) {
+    for (int i = 0; i < 5; ++i) {
+      items.acquire(self);
+      consumed.push_back(i);
+    }
+  });
+  sim.spawn("producer", [&](Process& self) {
+    for (int i = 0; i < 5; ++i) {
+      self.delay(msec(2));
+      items.release();
+    }
+  });
+  sim.run();
+  EXPECT_EQ(consumed.size(), 5u);
+  EXPECT_EQ(items.count(), 0);
+}
+
+TEST(SimSemaphore, BoundedConcurrency) {
+  Simulation sim;
+  SimSemaphore slots(2);
+  int inside = 0;
+  int max_inside = 0;
+  for (int i = 0; i < 6; ++i) {
+    sim.spawn("p" + std::to_string(i), [&](Process& self) {
+      slots.acquire(self);
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      self.delay(msec(5));
+      --inside;
+      slots.release();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(max_inside, 2);
+  EXPECT_EQ(sim.now(), msec(15));
+}
+
+TEST(SimSemaphore, AcquireForTimesOut) {
+  Simulation sim;
+  SimSemaphore sem(0);
+  bool got = true;
+  sim.spawn("p", [&](Process& self) { got = sem.acquireFor(self, msec(15)); });
+  sim.run();
+  EXPECT_FALSE(got);
+}
+
+TEST(SimCondition, NotifyOneWakesExactlyOne) {
+  Simulation sim;
+  SimMutex mu;
+  SimCondition cv;
+  int ready = 0;
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn("waiter" + std::to_string(i), [&](Process& self) {
+      mu.lock(self);
+      ++ready;
+      while (woken == 0) cv.wait(self, mu);
+      --woken;
+      mu.unlock();
+    });
+  }
+  sim.spawn("signaler", [&](Process& self) {
+    self.delay(msec(5));
+    mu.lock(self);
+    woken = 1;
+    cv.notifyOne();
+    mu.unlock();
+  });
+  sim.runFor(msec(100));
+  EXPECT_EQ(ready, 3);
+  EXPECT_EQ(woken, 0);
+  EXPECT_EQ(sim.liveProcessCount(), 2u);  // two still waiting
+}
+
+TEST(SimCondition, NotifyAllWakesEveryone) {
+  Simulation sim;
+  SimMutex mu;
+  SimCondition cv;
+  bool go = false;
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    sim.spawn("waiter" + std::to_string(i), [&](Process& self) {
+      mu.lock(self);
+      while (!go) cv.wait(self, mu);
+      ++done;
+      mu.unlock();
+    });
+  }
+  sim.spawn("signaler", [&](Process& self) {
+    self.delay(msec(5));
+    mu.lock(self);
+    go = true;
+    cv.notifyAll();
+    mu.unlock();
+  });
+  sim.run();
+  EXPECT_EQ(done, 4);
+}
+
+TEST(WaitQueue, TimeoutRemovesWaiter) {
+  Simulation sim;
+  WaitQueue q;
+  bool notified = true;
+  sim.spawn("p", [&](Process& self) { notified = q.waitFor(self, msec(10)); });
+  sim.run();
+  EXPECT_FALSE(notified);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WaitQueue, NotifyBeforeTimeoutWins) {
+  Simulation sim;
+  WaitQueue q;
+  bool notified = false;
+  sim.spawn("p", [&](Process& self) { notified = q.waitFor(self, msec(50)); });
+  sim.schedule(msec(5), [&] { q.notifyOne(); });
+  sim.run();
+  EXPECT_TRUE(notified);
+}
+
+}  // namespace
+}  // namespace clouds::sim

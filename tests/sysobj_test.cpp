@@ -1,0 +1,112 @@
+// System objects: name server and user I/O manager (paper §4.2), plus the
+// anonymous-segment partition backing volatile memory.
+#include <gtest/gtest.h>
+
+#include "ra/anon_partition.hpp"
+#include "sysobj/name_server.hpp"
+#include "sysobj/user_io.hpp"
+#include "testbed.hpp"
+
+namespace clouds::test {
+namespace {
+
+struct SysobjBed : Testbed {
+  sysobj::NameServer names;
+  std::unique_ptr<ra::Node> ws_node;
+  std::unique_ptr<sysobj::Workstation> ws;
+
+  SysobjBed() : Testbed(2, 1), names(*data[0].node) {
+    ws_node = std::make_unique<ra::Node>(sim, cost, ether, 200, "ws0",
+                                         static_cast<int>(ra::NodeRole::workstation));
+    ws = std::make_unique<sysobj::Workstation>(*ws_node);
+  }
+};
+
+TEST(NameServer, BindLookupUnbindOverNetwork) {
+  SysobjBed f;
+  sysobj::NameClient client(*f.compute[0].node, f.data[0].node->id());
+  const Sysname a = ra::makeHomedSysname(100, 1);
+  const Sysname b = ra::makeHomedSysname(100, 2);
+  f.sim.spawn("driver", [&](sim::Process& self) {
+    ASSERT_TRUE(client.bind(self, "alpha", {a}).ok());
+    EXPECT_EQ(client.bind(self, "alpha", {b}).code(), Errc::already_exists);
+    ASSERT_TRUE(client.bind(self, "alpha", {b}, /*replace=*/true).ok());
+    auto got = client.lookup(self, "alpha");
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value().sysnames.front(), b);
+    EXPECT_FALSE(got.value().isReplicated());
+    // Replica sets round-trip too.
+    ASSERT_TRUE(client.bind(self, "replicated", {a, b}).ok());
+    auto rep = client.lookup(self, "replicated");
+    ASSERT_TRUE(rep.ok());
+    EXPECT_TRUE(rep.value().isReplicated());
+    ASSERT_EQ(rep.value().sysnames.size(), 2u);
+    // Listing and unbinding.
+    auto all = client.list(self);
+    ASSERT_TRUE(all.ok());
+    EXPECT_EQ(all.value().size(), 2u);
+    ASSERT_TRUE(client.unbind(self, "alpha").ok());
+    EXPECT_EQ(client.lookup(self, "alpha").code(), Errc::not_found);
+    EXPECT_EQ(client.unbind(self, "alpha").code(), Errc::not_found);
+  });
+  f.sim.run();
+}
+
+TEST(NameServer, RejectsEmptyBindings) {
+  SysobjBed f;
+  EXPECT_EQ(f.names.bind("", {{Sysname(1, 1)}}).code(), Errc::bad_argument);
+  EXPECT_EQ(f.names.bind("x", sysobj::Binding{}).code(), Errc::bad_argument);
+}
+
+TEST(UserIo, WritesRouteToWindowAndReadsConsumeInput) {
+  SysobjBed f;
+  sysobj::IoClient io(*f.compute[0].node);
+  f.ws->supplyInput(3, "typed line");
+  f.sim.spawn("thread", [&](sim::Process& self) {
+    ASSERT_TRUE(io.write(self, 200, 3, "hello window 3").ok());
+    ASSERT_TRUE(io.write(self, 200, 4, "hello window 4").ok());
+    auto line = io.readLine(self, 200, 3);
+    ASSERT_TRUE(line.ok());
+    EXPECT_EQ(line.value(), "typed line");
+    // Empty input fails fast (deterministic terminals).
+    EXPECT_EQ(io.readLine(self, 200, 3).code(), Errc::not_found);
+  });
+  f.sim.run();
+  EXPECT_EQ(f.ws->joinedOutput(3), "hello window 3");
+  EXPECT_EQ(f.ws->joinedOutput(4), "hello window 4");
+}
+
+TEST(UserIo, DeadWorkstationTimesOut) {
+  SysobjBed f;
+  sysobj::IoClient io(*f.compute[0].node);
+  f.ws_node->crash();
+  Errc code = Errc::ok;
+  f.sim.spawn("thread", [&](sim::Process& self) {
+    code = io.write(self, 200, 0, "into the void").code();
+  });
+  f.sim.run();
+  EXPECT_EQ(code, Errc::timeout);
+}
+
+TEST(AnonPartition, ZeroFilledCreateAccessDestroy) {
+  Testbed f(1, 1);
+  ra::AnonPartition anon(f.compute[0].node->id(), f.compute[0].node->cpu(), f.cost);
+  f.sim.spawn("driver", [&](sim::Process& self) {
+    const Sysname seg = anon.create(3 * ra::kPageSize);
+    EXPECT_TRUE(ra::isAnonName(seg));
+    EXPECT_TRUE(anon.serves(seg));
+    auto h = anon.resolvePage(self, {seg, 0}, ra::Access::write);
+    ASSERT_TRUE(h.ok());
+    h.value().data[5] = std::byte{0xaa};
+    auto h2 = anon.resolvePage(self, {seg, 0}, ra::Access::read);
+    EXPECT_EQ(h2.value().data[5], std::byte{0xaa});  // same frame
+    EXPECT_EQ(anon.resolvePage(self, {seg, 5}, ra::Access::read).code(), Errc::protection);
+    anon.destroy(seg);
+    EXPECT_EQ(anon.resolvePage(self, {seg, 0}, ra::Access::read).code(), Errc::not_found);
+    EXPECT_EQ(anon.stat(self, seg).code(), Errc::not_found);
+  });
+  f.sim.run();
+}
+
+}  // namespace
+}  // namespace clouds::test

@@ -1,0 +1,69 @@
+// Shared multi-node wiring for kernel/DSM/consistency tests: N compute
+// servers and M data servers on one Ethernet, mirroring the paper's
+// prototype configuration (diskless Sun-3/60 compute servers + data
+// servers), without the full Clouds object layer on top.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsm/client.hpp"
+#include "dsm/server.hpp"
+#include "dsm/sync_client.hpp"
+#include "net/ethernet.hpp"
+#include "ra/mmu.hpp"
+#include "ra/node.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/simulation.hpp"
+#include "store/disk_store.hpp"
+
+namespace clouds::test {
+
+struct Testbed {
+  sim::Simulation sim;
+  sim::CostModel cost;
+  net::Ethernet ether{sim, cost};
+
+  struct DataServer {
+    std::unique_ptr<ra::Node> node;
+    std::unique_ptr<store::DiskStore> store;
+    std::unique_ptr<dsm::DsmServer> server;
+  };
+  struct ComputeServer {
+    std::unique_ptr<ra::Node> node;
+    dsm::DsmClientPartition* dsm = nullptr;  // owned by the node
+    std::unique_ptr<ra::Mmu> mmu;
+    std::unique_ptr<dsm::SyncClient> sync;
+  };
+
+  std::vector<DataServer> data;
+  std::vector<ComputeServer> compute;
+
+  // Node ids: data servers 100, 101, ...; compute servers 1, 2, ...
+  explicit Testbed(int n_compute, int n_data, std::uint64_t seed = 42,
+                   std::size_t frame_capacity = 2048)
+      : sim(seed) {
+    for (int i = 0; i < n_data; ++i) {
+      DataServer ds;
+      ds.node = std::make_unique<ra::Node>(sim, cost, ether, 100 + i, "data" + std::to_string(i),
+                                           static_cast<int>(ra::NodeRole::data));
+      ds.store = std::make_unique<store::DiskStore>(ds.node->id(), cost);
+      ds.server = std::make_unique<dsm::DsmServer>(*ds.node, *ds.store);
+      data.push_back(std::move(ds));
+    }
+    for (int i = 0; i < n_compute; ++i) {
+      ComputeServer cs;
+      cs.node = std::make_unique<ra::Node>(sim, cost, ether, 1 + i, "cpu" + std::to_string(i),
+                                           static_cast<int>(ra::NodeRole::compute));
+      auto part = std::make_unique<dsm::DsmClientPartition>(*cs.node, nullptr, frame_capacity);
+      cs.dsm = part.get();
+      cs.node->addPartition(std::move(part));
+      cs.mmu = std::make_unique<ra::Mmu>(*cs.node);
+      cs.sync = std::make_unique<dsm::SyncClient>(*cs.node, nullptr);
+      compute.push_back(std::move(cs));
+    }
+  }
+};
+
+}  // namespace clouds::test

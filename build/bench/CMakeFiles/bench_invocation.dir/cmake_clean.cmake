@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_invocation.dir/bench_invocation.cpp.o"
+  "CMakeFiles/bench_invocation.dir/bench_invocation.cpp.o.d"
+  "bench_invocation"
+  "bench_invocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_invocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pet.dir/bench_pet.cpp.o"
+  "CMakeFiles/bench_pet.dir/bench_pet.cpp.o.d"
+  "bench_pet"
+  "bench_pet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

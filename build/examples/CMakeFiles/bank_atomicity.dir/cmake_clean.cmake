@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_atomicity.dir/bank_atomicity.cpp.o"
+  "CMakeFiles/bank_atomicity.dir/bank_atomicity.cpp.o.d"
+  "bank_atomicity"
+  "bank_atomicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_atomicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_shell.dir/clouds_shell.cpp.o"
+  "CMakeFiles/clouds_shell.dir/clouds_shell.cpp.o.d"
+  "clouds_shell"
+  "clouds_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

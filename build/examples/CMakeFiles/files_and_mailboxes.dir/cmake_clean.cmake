@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/files_and_mailboxes.dir/files_and_mailboxes.cpp.o"
+  "CMakeFiles/files_and_mailboxes.dir/files_and_mailboxes.cpp.o.d"
+  "files_and_mailboxes"
+  "files_and_mailboxes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/files_and_mailboxes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

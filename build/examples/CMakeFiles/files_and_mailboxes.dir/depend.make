@@ -1,0 +1,2 @@
+# Empty dependencies file for files_and_mailboxes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_environment.dir/persistent_environment.cpp.o"
+  "CMakeFiles/persistent_environment.dir/persistent_environment.cpp.o.d"
+  "persistent_environment"
+  "persistent_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_resilience.dir/pet_resilience.cpp.o"
+  "CMakeFiles/pet_resilience.dir/pet_resilience.cpp.o.d"
+  "pet_resilience"
+  "pet_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_debug.dir/sort_debug.cpp.o"
+  "CMakeFiles/sort_debug.dir/sort_debug.cpp.o.d"
+  "sort_debug"
+  "sort_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_core.dir/cluster.cpp.o"
+  "CMakeFiles/clouds_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/clouds_core.dir/runtime.cpp.o"
+  "CMakeFiles/clouds_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/clouds_core.dir/shell.cpp.o"
+  "CMakeFiles/clouds_core.dir/shell.cpp.o.d"
+  "CMakeFiles/clouds_core.dir/standard_classes.cpp.o"
+  "CMakeFiles/clouds_core.dir/standard_classes.cpp.o.d"
+  "libclouds_core.a"
+  "libclouds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clouds/class_registry.cpp" "src/clouds/CMakeFiles/clouds_obj_model.dir/class_registry.cpp.o" "gcc" "src/clouds/CMakeFiles/clouds_obj_model.dir/class_registry.cpp.o.d"
+  "/root/repo/src/clouds/object.cpp" "src/clouds/CMakeFiles/clouds_obj_model.dir/object.cpp.o" "gcc" "src/clouds/CMakeFiles/clouds_obj_model.dir/object.cpp.o.d"
+  "/root/repo/src/clouds/value.cpp" "src/clouds/CMakeFiles/clouds_obj_model.dir/value.cpp.o" "gcc" "src/clouds/CMakeFiles/clouds_obj_model.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clouds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/clouds_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clouds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clouds_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_obj_model.dir/class_registry.cpp.o"
+  "CMakeFiles/clouds_obj_model.dir/class_registry.cpp.o.d"
+  "CMakeFiles/clouds_obj_model.dir/object.cpp.o"
+  "CMakeFiles/clouds_obj_model.dir/object.cpp.o.d"
+  "CMakeFiles/clouds_obj_model.dir/value.cpp.o"
+  "CMakeFiles/clouds_obj_model.dir/value.cpp.o.d"
+  "libclouds_obj_model.a"
+  "libclouds_obj_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_obj_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_common.dir/codec.cpp.o"
+  "CMakeFiles/clouds_common.dir/codec.cpp.o.d"
+  "CMakeFiles/clouds_common.dir/error.cpp.o"
+  "CMakeFiles/clouds_common.dir/error.cpp.o.d"
+  "CMakeFiles/clouds_common.dir/sysname.cpp.o"
+  "CMakeFiles/clouds_common.dir/sysname.cpp.o.d"
+  "libclouds_common.a"
+  "libclouds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_consistency.dir/txn.cpp.o"
+  "CMakeFiles/clouds_consistency.dir/txn.cpp.o.d"
+  "libclouds_consistency.a"
+  "libclouds_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

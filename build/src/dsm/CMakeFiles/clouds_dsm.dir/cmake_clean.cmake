@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_dsm.dir/client.cpp.o"
+  "CMakeFiles/clouds_dsm.dir/client.cpp.o.d"
+  "CMakeFiles/clouds_dsm.dir/server.cpp.o"
+  "CMakeFiles/clouds_dsm.dir/server.cpp.o.d"
+  "CMakeFiles/clouds_dsm.dir/sync_client.cpp.o"
+  "CMakeFiles/clouds_dsm.dir/sync_client.cpp.o.d"
+  "libclouds_dsm.a"
+  "libclouds_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_net.dir/comparators.cpp.o"
+  "CMakeFiles/clouds_net.dir/comparators.cpp.o.d"
+  "CMakeFiles/clouds_net.dir/ethernet.cpp.o"
+  "CMakeFiles/clouds_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/clouds_net.dir/ratp.cpp.o"
+  "CMakeFiles/clouds_net.dir/ratp.cpp.o.d"
+  "libclouds_net.a"
+  "libclouds_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

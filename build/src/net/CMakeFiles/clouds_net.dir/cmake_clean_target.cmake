@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclouds_net.a"
+)

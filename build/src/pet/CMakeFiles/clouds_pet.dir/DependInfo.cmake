@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pet/pet.cpp" "src/pet/CMakeFiles/clouds_pet.dir/pet.cpp.o" "gcc" "src/pet/CMakeFiles/clouds_pet.dir/pet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/clouds/CMakeFiles/clouds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysobj/CMakeFiles/clouds_sysobj.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/clouds_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/clouds/CMakeFiles/clouds_obj_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/clouds_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/clouds_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clouds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/clouds_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clouds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clouds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_pet.dir/pet.cpp.o"
+  "CMakeFiles/clouds_pet.dir/pet.cpp.o.d"
+  "libclouds_pet.a"
+  "libclouds_pet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_pet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

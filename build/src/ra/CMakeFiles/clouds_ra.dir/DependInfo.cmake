@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ra/anon_partition.cpp" "src/ra/CMakeFiles/clouds_ra.dir/anon_partition.cpp.o" "gcc" "src/ra/CMakeFiles/clouds_ra.dir/anon_partition.cpp.o.d"
+  "/root/repo/src/ra/mmu.cpp" "src/ra/CMakeFiles/clouds_ra.dir/mmu.cpp.o" "gcc" "src/ra/CMakeFiles/clouds_ra.dir/mmu.cpp.o.d"
+  "/root/repo/src/ra/node.cpp" "src/ra/CMakeFiles/clouds_ra.dir/node.cpp.o" "gcc" "src/ra/CMakeFiles/clouds_ra.dir/node.cpp.o.d"
+  "/root/repo/src/ra/virtual_space.cpp" "src/ra/CMakeFiles/clouds_ra.dir/virtual_space.cpp.o" "gcc" "src/ra/CMakeFiles/clouds_ra.dir/virtual_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clouds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clouds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clouds_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

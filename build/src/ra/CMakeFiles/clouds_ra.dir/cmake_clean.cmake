@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_ra.dir/anon_partition.cpp.o"
+  "CMakeFiles/clouds_ra.dir/anon_partition.cpp.o.d"
+  "CMakeFiles/clouds_ra.dir/mmu.cpp.o"
+  "CMakeFiles/clouds_ra.dir/mmu.cpp.o.d"
+  "CMakeFiles/clouds_ra.dir/node.cpp.o"
+  "CMakeFiles/clouds_ra.dir/node.cpp.o.d"
+  "CMakeFiles/clouds_ra.dir/virtual_space.cpp.o"
+  "CMakeFiles/clouds_ra.dir/virtual_space.cpp.o.d"
+  "libclouds_ra.a"
+  "libclouds_ra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_ra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

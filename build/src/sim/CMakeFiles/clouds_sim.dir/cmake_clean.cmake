@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_sim.dir/cpu.cpp.o"
+  "CMakeFiles/clouds_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/clouds_sim.dir/process.cpp.o"
+  "CMakeFiles/clouds_sim.dir/process.cpp.o.d"
+  "CMakeFiles/clouds_sim.dir/simulation.cpp.o"
+  "CMakeFiles/clouds_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/clouds_sim.dir/sync.cpp.o"
+  "CMakeFiles/clouds_sim.dir/sync.cpp.o.d"
+  "CMakeFiles/clouds_sim.dir/trace.cpp.o"
+  "CMakeFiles/clouds_sim.dir/trace.cpp.o.d"
+  "libclouds_sim.a"
+  "libclouds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

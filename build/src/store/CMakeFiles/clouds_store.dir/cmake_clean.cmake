@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_store.dir/disk_store.cpp.o"
+  "CMakeFiles/clouds_store.dir/disk_store.cpp.o.d"
+  "libclouds_store.a"
+  "libclouds_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

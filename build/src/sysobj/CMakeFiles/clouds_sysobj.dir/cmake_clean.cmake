@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_sysobj.dir/name_server.cpp.o"
+  "CMakeFiles/clouds_sysobj.dir/name_server.cpp.o.d"
+  "CMakeFiles/clouds_sysobj.dir/user_io.cpp.o"
+  "CMakeFiles/clouds_sysobj.dir/user_io.cpp.o.d"
+  "libclouds_sysobj.a"
+  "libclouds_sysobj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_sysobj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouds_core_test.dir/clouds_memory_test.cpp.o"
+  "CMakeFiles/clouds_core_test.dir/clouds_memory_test.cpp.o.d"
+  "CMakeFiles/clouds_core_test.dir/clouds_object_test.cpp.o"
+  "CMakeFiles/clouds_core_test.dir/clouds_object_test.cpp.o.d"
+  "CMakeFiles/clouds_core_test.dir/cluster_combined_test.cpp.o"
+  "CMakeFiles/clouds_core_test.dir/cluster_combined_test.cpp.o.d"
+  "CMakeFiles/clouds_core_test.dir/consistency_lcp_gcp_test.cpp.o"
+  "CMakeFiles/clouds_core_test.dir/consistency_lcp_gcp_test.cpp.o.d"
+  "CMakeFiles/clouds_core_test.dir/consistency_test.cpp.o"
+  "CMakeFiles/clouds_core_test.dir/consistency_test.cpp.o.d"
+  "CMakeFiles/clouds_core_test.dir/determinism_test.cpp.o"
+  "CMakeFiles/clouds_core_test.dir/determinism_test.cpp.o.d"
+  "CMakeFiles/clouds_core_test.dir/persistence_test.cpp.o"
+  "CMakeFiles/clouds_core_test.dir/persistence_test.cpp.o.d"
+  "CMakeFiles/clouds_core_test.dir/scheduler_test.cpp.o"
+  "CMakeFiles/clouds_core_test.dir/scheduler_test.cpp.o.d"
+  "CMakeFiles/clouds_core_test.dir/shell_test.cpp.o"
+  "CMakeFiles/clouds_core_test.dir/shell_test.cpp.o.d"
+  "clouds_core_test"
+  "clouds_core_test.pdb"
+  "clouds_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouds_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

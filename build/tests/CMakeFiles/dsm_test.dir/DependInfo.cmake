@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsm_coherence_test.cpp" "tests/CMakeFiles/dsm_test.dir/dsm_coherence_test.cpp.o" "gcc" "tests/CMakeFiles/dsm_test.dir/dsm_coherence_test.cpp.o.d"
+  "/root/repo/tests/dsm_edge_test.cpp" "tests/CMakeFiles/dsm_test.dir/dsm_edge_test.cpp.o" "gcc" "tests/CMakeFiles/dsm_test.dir/dsm_edge_test.cpp.o.d"
+  "/root/repo/tests/dsm_sync_test.cpp" "tests/CMakeFiles/dsm_test.dir/dsm_sync_test.cpp.o" "gcc" "tests/CMakeFiles/dsm_test.dir/dsm_sync_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clouds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clouds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/clouds_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/clouds_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clouds_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/clouds_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_test.dir/dsm_coherence_test.cpp.o"
+  "CMakeFiles/dsm_test.dir/dsm_coherence_test.cpp.o.d"
+  "CMakeFiles/dsm_test.dir/dsm_edge_test.cpp.o"
+  "CMakeFiles/dsm_test.dir/dsm_edge_test.cpp.o.d"
+  "CMakeFiles/dsm_test.dir/dsm_sync_test.cpp.o"
+  "CMakeFiles/dsm_test.dir/dsm_sync_test.cpp.o.d"
+  "dsm_test"
+  "dsm_test.pdb"
+  "dsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_test.dir/pet_test.cpp.o"
+  "CMakeFiles/pet_test.dir/pet_test.cpp.o.d"
+  "pet_test"
+  "pet_test.pdb"
+  "pet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_test.dir/ra_virtual_space_test.cpp.o"
+  "CMakeFiles/ra_test.dir/ra_virtual_space_test.cpp.o.d"
+  "CMakeFiles/ra_test.dir/store_disk_test.cpp.o"
+  "CMakeFiles/ra_test.dir/store_disk_test.cpp.o.d"
+  "CMakeFiles/ra_test.dir/store_property_test.cpp.o"
+  "CMakeFiles/ra_test.dir/store_property_test.cpp.o.d"
+  "ra_test"
+  "ra_test.pdb"
+  "ra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysobj_test.dir/sysobj_test.cpp.o"
+  "CMakeFiles/sysobj_test.dir/sysobj_test.cpp.o.d"
+  "sysobj_test"
+  "sysobj_test.pdb"
+  "sysobj_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysobj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

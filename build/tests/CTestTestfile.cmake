@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/ra_test[1]_include.cmake")
+include("/root/repo/build/tests/sysobj_test[1]_include.cmake")
+include("/root/repo/build/tests/dsm_test[1]_include.cmake")
+include("/root/repo/build/tests/clouds_core_test[1]_include.cmake")
+include("/root/repo/build/tests/pet_test[1]_include.cmake")

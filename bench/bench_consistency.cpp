@@ -27,7 +27,7 @@ struct MixResult {
 };
 
 MixResult runMix(const char* entry, const char* total_entry, int threads, int ops_per_thread,
-                 int accounts) {
+                 int accounts, const char* emit_metrics_label = nullptr) {
   ClusterConfig cfg;
   cfg.compute_servers = 2;
   cfg.data_servers = 1;
@@ -74,13 +74,16 @@ MixResult runMix(const char* entry, const char* total_entry, int threads, int op
   out.ms_per_op = bench::ms(last_done - start) / (threads * ops_per_thread);
   const auto total = cluster.call("Bank", total_entry);
   out.conserved = total.ok() && total.value() == obj::Value{accounts * 1000};
+  if (emit_metrics_label != nullptr) bench::emitMetrics(emit_metrics_label, cluster.sim());
   return out;
 }
 
 void runLabel(benchmark::State& state, const char* entry, const char* total_entry) {
   const int threads = static_cast<int>(state.range(0));
+  int iter = 0;
   for (auto _ : state) {
-    const MixResult r = runMix(entry, total_entry, threads, 10, 64);
+    const MixResult r =
+        runMix(entry, total_entry, threads, 10, 64, iter++ == 0 ? entry : nullptr);
     bench::report(state, r.ms_per_op, 0);
     state.counters["threads"] = threads;
     state.counters["committed"] = r.committed;
@@ -101,8 +104,10 @@ BENCHMARK(BM_TransferGCP)->UseManualTime()->Iterations(1)->Unit(benchmark::kMill
 // second 2PC round? Approximated by LCP (one round, per-server) vs GCP on
 // the same single-server workload.
 void BM_CommitProtocolAblation(benchmark::State& state) {
+  int iter = 0;
   for (auto _ : state) {
-    const MixResult lcp = runMix("transfer_lcp", "total", 2, 10, 64);
+    const MixResult lcp = runMix("transfer_lcp", "total", 2, 10, 64,
+                                 iter++ == 0 ? "BM_CommitProtocolAblation" : nullptr);
     const MixResult gcp = runMix("transfer", "total", 2, 10, 64);
     bench::report(state, gcp.ms_per_op - lcp.ms_per_op, 0);
     state.counters["lcp_ms_per_op"] = lcp.ms_per_op;

@@ -20,7 +20,8 @@ namespace {
 
 using namespace clouds;
 
-double runSort(int n_workers, std::int64_t keys, std::uint64_t seed) {
+double runSort(int n_workers, std::int64_t keys, std::uint64_t seed,
+               const char* emit_metrics_label = nullptr) {
   ClusterConfig cfg;
   cfg.compute_servers = 8;
   cfg.data_servers = 1;
@@ -50,6 +51,7 @@ double runSort(int n_workers, std::int64_t keys, std::uint64_t seed) {
     }
   }
   const double elapsed = bench::ms(cluster.sim().now() - start);
+  if (emit_metrics_label != nullptr) bench::emitMetrics(emit_metrics_label, cluster.sim());
   if (cluster.call("S", "is_sorted", {0, keys}).value() != obj::Value{true}) return -1;
   return elapsed;
 }
@@ -57,8 +59,9 @@ double runSort(int n_workers, std::int64_t keys, std::uint64_t seed) {
 void BM_DsmSort(benchmark::State& state) {
   const int workers = static_cast<int>(state.range(0));
   const std::int64_t keys = state.range(1);
+  int iter = 0;
   for (auto _ : state) {
-    const double ms = runSort(workers, keys, 42);
+    const double ms = runSort(workers, keys, 42, iter++ == 0 ? "BM_DsmSort" : nullptr);
     if (ms < 0) {
       state.SkipWithError("sort failed");
       return;

@@ -59,7 +59,8 @@ struct GranularityResult {
   double remote_ms = 0;  // ship the invocation to node 1 (object hot there)
 };
 
-GranularityResult runOnce(std::int64_t pages, std::int64_t usec_per_page) {
+GranularityResult runOnce(std::int64_t pages, std::int64_t usec_per_page,
+                          const char* emit_metrics_label = nullptr) {
   ClusterConfig cfg;
   cfg.compute_servers = 2;
   cfg.data_servers = 1;
@@ -90,14 +91,17 @@ GranularityResult runOnce(std::int64_t pages, std::int64_t usec_per_page) {
     cluster.run();
     out.remote_ms = h->done && h->result.ok() ? bench::ms(h->completed_at - t0) : -1;
   }
+  if (emit_metrics_label != nullptr) bench::emitMetrics(emit_metrics_label, cluster.sim());
   return out;
 }
 
 void BM_LocalVsShipped(benchmark::State& state) {
   const std::int64_t pages = state.range(0);
   const std::int64_t usec_per_page = state.range(1);
+  int iter = 0;
   for (auto _ : state) {
-    const GranularityResult r = runOnce(pages, usec_per_page);
+    const GranularityResult r =
+        runOnce(pages, usec_per_page, iter++ == 0 ? "BM_LocalVsShipped" : nullptr);
     if (r.local_ms < 0 || r.remote_ms < 0) {
       state.SkipWithError("scan failed");
       return;

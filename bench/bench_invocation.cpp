@@ -68,6 +68,7 @@ void BM_NullInvocationHot(benchmark::State& state) {
     const double ms = bed.timedCall();
     bench::report(state, ms, 8.0);
   }
+  bench::emitMetrics("BM_NullInvocationHot", bed.cluster.sim());
 }
 BENCHMARK(BM_NullInvocationHot)->UseManualTime()->Iterations(5)->Unit(benchmark::kMillisecond);
 
@@ -78,6 +79,7 @@ void BM_NullInvocationCold(benchmark::State& state) {
     const double ms = bed.timedCall();
     bench::report(state, ms, 103.0);
   }
+  bench::emitMetrics("BM_NullInvocationCold", bed.cluster.sim());
 }
 BENCHMARK(BM_NullInvocationCold)->UseManualTime()->Iterations(5)->Unit(benchmark::kMillisecond);
 
@@ -92,6 +94,7 @@ void BM_NullInvocationLocalityMix(benchmark::State& state) {
     for (int i = 0; i < kCalls; ++i) total += bed.timedCall();
     bench::report(state, total / kCalls, 0);  // paper gives no exact average
   }
+  bench::emitMetrics("BM_NullInvocationLocalityMix", bed.cluster.sim());
 }
 BENCHMARK(BM_NullInvocationLocalityMix)
     ->UseManualTime()

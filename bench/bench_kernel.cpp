@@ -34,6 +34,7 @@ struct CombinedNode {
 };
 
 void BM_ContextSwitch(benchmark::State& state) {
+  int iter = 0;
   for (auto _ : state) {
     CombinedNode m;
     constexpr int kRounds = 50;
@@ -53,6 +54,7 @@ void BM_ContextSwitch(benchmark::State& state) {
       }
     });
     m.sim.run();
+    if (iter++ == 0) bench::emitMetrics("BM_ContextSwitch", m.sim);
     const double per_switch = bench::ms(m.sim.now()) / (2.0 * kRounds);
     bench::report(state, per_switch, 0.14);
   }
@@ -60,6 +62,7 @@ void BM_ContextSwitch(benchmark::State& state) {
 BENCHMARK(BM_ContextSwitch)->UseManualTime()->Iterations(3)->Unit(benchmark::kMillisecond);
 
 void BM_PageFaultZeroFilled8K(benchmark::State& state) {
+  int iter = 0;
   for (auto _ : state) {
     CombinedNode m;
     const Sysname seg = m.store.createSegment(64 * ra::kPageSize).value();
@@ -74,12 +77,14 @@ void BM_PageFaultZeroFilled8K(benchmark::State& state) {
       fault_ms = bench::ms(m.sim.now() - start) / kFaults;
     });
     m.sim.run();
+    if (iter++ == 0) bench::emitMetrics("BM_PageFaultZeroFilled8K", m.sim);
     bench::report(state, fault_ms, 1.5);
   }
 }
 BENCHMARK(BM_PageFaultZeroFilled8K)->UseManualTime()->Iterations(3)->Unit(benchmark::kMillisecond);
 
 void BM_PageFaultResident8K(benchmark::State& state) {
+  int iter = 0;
   for (auto _ : state) {
     CombinedNode m;
     const Sysname seg = m.store.createSegment(64 * ra::kPageSize).value();
@@ -100,6 +105,7 @@ void BM_PageFaultResident8K(benchmark::State& state) {
       fault_ms = bench::ms(m.sim.now() - start) / kFaults;
     });
     m.sim.run();
+    if (iter++ == 0) bench::emitMetrics("BM_PageFaultResident8K", m.sim);
     bench::report(state, fault_ms, 0.629);
   }
 }

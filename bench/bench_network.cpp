@@ -29,6 +29,7 @@ struct TwoNodes {
 };
 
 void BM_EthernetRoundTrip72B(benchmark::State& state) {
+  int iter = 0;
   for (auto _ : state) {
     TwoNodes m;
     sim::TimePoint done = sim::kZero;
@@ -41,12 +42,14 @@ void BM_EthernetRoundTrip72B(benchmark::State& state) {
       m.nicA.send(self, net::Frame{net::kNoNode, 2, net::kProtoEcho, Bytes(72)});
     });
     m.sim.run();
+    if (iter++ == 0) bench::emitMetrics("BM_EthernetRoundTrip72B", m.sim);
     bench::report(state, bench::ms(done), 2.4);
   }
 }
 BENCHMARK(BM_EthernetRoundTrip72B)->UseManualTime()->Iterations(3)->Unit(benchmark::kMillisecond);
 
 void BM_RatpReliableRoundTrip(benchmark::State& state) {
+  int iter = 0;
   for (auto _ : state) {
     TwoNodes m;
     net::RatpEndpoint client(m.nicA, "client");
@@ -61,12 +64,14 @@ void BM_RatpReliableRoundTrip(benchmark::State& state) {
       rtt = bench::ms(m.sim.now() - t0);
     });
     m.sim.run();
+    if (iter++ == 0) bench::emitMetrics("BM_RatpReliableRoundTrip", m.sim);
     bench::report(state, rtt, 4.8);
   }
 }
 BENCHMARK(BM_RatpReliableRoundTrip)->UseManualTime()->Iterations(3)->Unit(benchmark::kMillisecond);
 
 void BM_PageTransfer8K_RaTP(benchmark::State& state) {
+  int iter = 0;
   for (auto _ : state) {
     TwoNodes m;
     net::RatpEndpoint client(m.nicA, "client");
@@ -81,6 +86,7 @@ void BM_PageTransfer8K_RaTP(benchmark::State& state) {
       elapsed = bench::ms(m.sim.now() - t0);
     });
     m.sim.run();
+    if (iter++ == 0) bench::emitMetrics("BM_PageTransfer8K_RaTP", m.sim);
     bench::report(state, elapsed, 11.9);
   }
 }
@@ -91,6 +97,7 @@ net::FileReader patternReader() {
 }
 
 void BM_PageTransfer8K_NFS(benchmark::State& state) {
+  int iter = 0;
   for (auto _ : state) {
     TwoNodes m;
     net::NfsSim client(m.nicA, "client");
@@ -103,12 +110,14 @@ void BM_PageTransfer8K_NFS(benchmark::State& state) {
       elapsed = bench::ms(m.sim.now() - t0);
     });
     m.sim.run();
+    if (iter++ == 0) bench::emitMetrics("BM_PageTransfer8K_NFS", m.sim);
     bench::report(state, elapsed, 50.0);
   }
 }
 BENCHMARK(BM_PageTransfer8K_NFS)->UseManualTime()->Iterations(3)->Unit(benchmark::kMillisecond);
 
 void BM_PageTransfer8K_FTP(benchmark::State& state) {
+  int iter = 0;
   for (auto _ : state) {
     TwoNodes m;
     net::FtpSim client(m.nicA, "client");
@@ -121,6 +130,7 @@ void BM_PageTransfer8K_FTP(benchmark::State& state) {
       elapsed = bench::ms(m.sim.now() - t0);
     });
     m.sim.run();
+    if (iter++ == 0) bench::emitMetrics("BM_PageTransfer8K_FTP", m.sim);
     bench::report(state, elapsed, 70.0);
   }
 }

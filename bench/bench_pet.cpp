@@ -28,7 +28,8 @@ struct PetRun {
   int replicas_written = 0;
 };
 
-PetRun runPet(int n_threads, int replicas, Crash crash, std::uint64_t seed) {
+PetRun runPet(int n_threads, int replicas, Crash crash, std::uint64_t seed,
+              const char* emit_metrics_label = nullptr) {
   ClusterConfig cfg;
   cfg.compute_servers = 4;
   cfg.data_servers = 3;
@@ -59,6 +60,7 @@ PetRun runPet(int n_threads, int replicas, Crash crash, std::uint64_t seed) {
     out.threads_completed = r.value().threads_completed;
     out.replicas_written = r.value().replicas_written;
   }
+  if (emit_metrics_label != nullptr) bench::emitMetrics(emit_metrics_label, cluster.sim());
   return out;
 }
 
@@ -66,8 +68,10 @@ void BM_PetResilience(benchmark::State& state) {
   const int n_threads = static_cast<int>(state.range(0));
   const int replicas = static_cast<int>(state.range(1));
   const auto crash = static_cast<Crash>(state.range(2));
+  int iter = 0;
   for (auto _ : state) {
-    const PetRun r = runPet(n_threads, replicas, crash, 42);
+    const PetRun r =
+        runPet(n_threads, replicas, crash, 42, iter++ == 0 ? "BM_PetResilience" : nullptr);
     bench::report(state, r.ms, 0);
     state.counters["pets"] = n_threads;
     state.counters["replicas"] = replicas;

@@ -11,6 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
 namespace clouds::bench {
@@ -23,6 +26,16 @@ inline void report(benchmark::State& state, double sim_ms, double paper_ms) {
     state.counters["paper_ms"] = paper_ms;
     state.counters["vs_paper"] = sim_ms / paper_ms;
   }
+}
+
+// Emit the measured universe's metrics snapshot alongside the timing table.
+// The snapshot is deterministic (sorted keys, integers only — see
+// docs/OBSERVABILITY.md), so two runs of the same bench binary produce
+// byte-identical lines, diffable across commits for regression hunting.
+// Benches call this on their first iteration only (every iteration builds an
+// identical universe); stderr keeps --benchmark_format machine output clean.
+inline void emitMetrics(const char* name, sim::Simulation& sim) {
+  std::fprintf(stderr, "# metrics %s %s\n", name, sim.metrics().toJson().c_str());
 }
 
 inline double ms(sim::Duration d) { return sim::toMillis(d); }

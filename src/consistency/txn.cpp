@@ -20,6 +20,7 @@ void TxnRuntime::onAccess(sim::Process& self, TxScope& scope, const Sysname& seg
   if (!need_write && scope.read_set.count(segment) != 0) return;
 
   ++scope.lock_waits;
+  ++*m_lock_waits_;
   auto r = sync_.lock(self, segment,
                       need_write ? dsm::LockMode::exclusive : dsm::LockMode::shared,
                       scope.txid);
@@ -51,10 +52,13 @@ Result<void> TxnRuntime::close(sim::Process& self, TxScope& scope, bool aborted)
     rollback(self, scope, {});
     return makeError(Errc::aborted, "transaction " + std::to_string(scope.txid) + " aborted");
   }
+  const sim::TimePoint commit_start = node_.simulation().now();
   const auto r = scope.label == obj::OpLabel::gcp ? commitGlobal(self, scope)
                                                   : commitLocal(self, scope);
   if (r.ok()) {
     ++commits_;
+    ++*m_commits_;
+    m_commit_latency_->observe(node_.simulation().now() - commit_start);
   }
   return r;
 }
@@ -117,6 +121,7 @@ Result<void> TxnRuntime::commitLocal(sim::Process& self, TxScope& scope) {
 void TxnRuntime::rollback(sim::Process& self, TxScope& scope,
                           const std::set<net::NodeId>& prepared_servers) {
   ++aborts_;
+  ++*m_aborts_;
   // Discard dirty frames so nobody (including this node) sees the aborted
   // writes; the store still holds the pre-transaction images.
   for (const Sysname& seg : scope.write_set) dsm_.dropSegment(seg);

@@ -51,7 +51,13 @@ struct TxScope {
 class TxnRuntime {
  public:
   TxnRuntime(ra::Node& node, dsm::DsmClientPartition& dsmp, dsm::SyncClient& sync)
-      : node_(node), dsm_(dsmp), sync_(sync) {}
+      : node_(node), dsm_(dsmp), sync_(sync) {
+    sim::MetricsRegistry& metrics = node_.simulation().metrics();
+    m_commits_ = &metrics.counter(node_.name() + "/txn/commits");
+    m_aborts_ = &metrics.counter(node_.name() + "/txn/aborts");
+    m_lock_waits_ = &metrics.counter(node_.name() + "/txn/lock_waits");
+    m_commit_latency_ = &metrics.histogram(node_.name() + "/txn/commit_latency_usec");
+  }
 
   TxScope open(obj::OpLabel label);
 
@@ -86,6 +92,11 @@ class TxnRuntime {
   std::uint32_t next_tx_ = 1;
   std::uint64_t commits_ = 0;
   std::uint64_t aborts_ = 0;
+  // Registry handles ("<node>/txn/..."), resolved at construction.
+  std::uint64_t* m_commits_;
+  std::uint64_t* m_aborts_;
+  std::uint64_t* m_lock_waits_;
+  sim::Histogram* m_commit_latency_;
 };
 
 }  // namespace clouds::consistency

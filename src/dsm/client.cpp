@@ -10,6 +10,15 @@ namespace clouds::dsm {
 DsmClientPartition::DsmClientPartition(ra::Node& node, DsmServer* local_server,
                                        std::size_t frame_capacity)
     : node_(node), local_server_(local_server), capacity_(frame_capacity) {
+  sim::MetricsRegistry& metrics = node_.simulation().metrics();
+  m_read_faults_ = &metrics.counter(node_.name() + "/dsm/read_faults");
+  m_write_faults_ = &metrics.counter(node_.name() + "/dsm/write_faults");
+  m_hits_ = &metrics.counter(node_.name() + "/dsm/hits");
+  m_write_backs_ = &metrics.counter(node_.name() + "/dsm/write_backs");
+  m_evictions_ = &metrics.counter(node_.name() + "/dsm/evictions");
+  m_invalidated_ = &metrics.counter(node_.name() + "/dsm/frames_invalidated");
+  m_degraded_ = &metrics.counter(node_.name() + "/dsm/frames_degraded");
+  m_fault_latency_ = &metrics.histogram(node_.name() + "/dsm/fault_latency_usec");
   bindCallbackService();
   node_.onCrashHook([this] { loseVolatileState(); });
   if (local_server_ != nullptr) local_server_->setLocalClient(this);
@@ -31,6 +40,7 @@ Result<ra::PageHandle> DsmClientPartition::resolvePage(sim::Process& self,
         f.state == FState::exclusive || (access == ra::Access::read && f.state == FState::shared);
     if (satisfied) {
       ++hits_;
+      ++*m_hits_;
       f.lru = ++lru_clock_;
       if (access == ra::Access::write) f.dirty = true;
       return ra::PageHandle{f.data.data(), f.state == FState::exclusive};
@@ -58,6 +68,8 @@ Result<ra::PageHandle> DsmClientPartition::resolvePage(sim::Process& self,
 Result<bool> DsmClientPartition::fault(sim::Process& self, const ra::PageKey& key,
                                        ra::Access access) {
   ++faults_;
+  ++*(access == ra::Access::write ? m_write_faults_ : m_read_faults_);
+  const sim::TimePoint fault_start = node_.simulation().now();
   node_.cpu().compute(self, node_.cost().fault_trap);
   maybeEvict(self);
   CLOUDS_TRY_ASSIGN(grant, requestPage(self, key, access));
@@ -80,6 +92,7 @@ Result<bool> DsmClientPartition::fault(sim::Process& self, const ra::PageKey& ke
   f.version = grant.version;
   f.max_seen = grant.version;
   f.lru = ++lru_clock_;
+  m_fault_latency_->observe(node_.simulation().now() - fault_start);
   return true;
 }
 
@@ -108,6 +121,7 @@ Result<PageGrant> DsmClientPartition::requestPage(sim::Process& self, const ra::
 
 Result<void> DsmClientPartition::sendWriteBack(sim::Process& self, const ra::PageKey& key,
                                                const Bytes& data, bool drop) {
+  ++*m_write_backs_;
   const net::NodeId home = ra::sysnameHome(key.segment);
   if (home == node_.id() && local_server_ != nullptr) {
     node_.cpu().compute(self, node_.cost().syscall);
@@ -132,6 +146,7 @@ void DsmClientPartition::maybeEvict(sim::Process& self) {
       if (victim == frames_.end() || it->second.lru < victim->second.lru) victim = it;
     }
     if (victim == frames_.end()) return;  // everything pinned by faults
+    ++*m_evictions_;
     const ra::PageKey key = victim->first;
     const std::uint64_t version = victim->second.version;
     if (victim->second.state == FState::exclusive && victim->second.dirty) {
@@ -150,6 +165,7 @@ void DsmClientPartition::maybeEvict(sim::Process& self) {
 
 Bytes DsmClientPartition::onInvalidate(const ra::PageKey& key, std::uint64_t version,
                                        bool* was_dirty) {
+  ++*m_invalidated_;
   Frame& f = frames_[key];
   f.max_seen = std::max(f.max_seen, version);
   Bytes data;
@@ -163,6 +179,7 @@ Bytes DsmClientPartition::onInvalidate(const ra::PageKey& key, std::uint64_t ver
 
 Bytes DsmClientPartition::onDegrade(const ra::PageKey& key, std::uint64_t version,
                                     bool* was_dirty) {
+  ++*m_degraded_;
   Frame& f = frames_[key];
   f.max_seen = std::max(f.max_seen, version);
   Bytes data;

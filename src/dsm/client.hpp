@@ -100,6 +100,15 @@ class DsmClientPartition : public ra::Partition {
   std::uint64_t lru_clock_ = 0;
   std::uint64_t faults_ = 0;
   std::uint64_t hits_ = 0;
+  // Registry handles ("<node>/dsm/..."), resolved at construction.
+  std::uint64_t* m_read_faults_;
+  std::uint64_t* m_write_faults_;
+  std::uint64_t* m_hits_;
+  std::uint64_t* m_write_backs_;
+  std::uint64_t* m_evictions_;
+  std::uint64_t* m_invalidated_;
+  std::uint64_t* m_degraded_;
+  sim::Histogram* m_fault_latency_;
 };
 
 }  // namespace clouds::dsm

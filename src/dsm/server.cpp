@@ -13,6 +13,15 @@ constexpr sim::Duration kSemWaitCap = sim::sec(60);
 }  // namespace
 
 DsmServer::DsmServer(ra::Node& node, store::DiskStore& store) : node_(node), store_(store) {
+  sim::MetricsRegistry& metrics = node_.simulation().metrics();
+  m_invalidations_ = &metrics.counter(node_.name() + "/dsm/invalidations");
+  m_degrades_ = &metrics.counter(node_.name() + "/dsm/degrades");
+  m_page_reads_ = &metrics.counter(node_.name() + "/dsm/page_reads");
+  m_page_writes_ = &metrics.counter(node_.name() + "/dsm/page_writes");
+  m_write_backs_ = &metrics.counter(node_.name() + "/dsm/write_backs_received");
+  m_tx_prepares_ = &metrics.counter(node_.name() + "/dsm/tx_prepares");
+  m_tx_commits_ = &metrics.counter(node_.name() + "/dsm/tx_commits");
+  m_tx_aborts_ = &metrics.counter(node_.name() + "/dsm/tx_aborts");
   bindServices();
   node_.onCrashHook([this] {
     loseVolatileState();
@@ -31,6 +40,7 @@ void DsmServer::loseVolatileState() {
 Result<Bytes> DsmServer::callback(sim::Process& self, net::NodeId holder, Op op,
                                   const ra::PageKey& key, std::uint64_t version) {
   (op == Op::invalidate ? invalidations_ : degrades_)++;
+  ++*(op == Op::invalidate ? m_invalidations_ : m_degrades_);
   if (holder == node_.id() && local_client_ != nullptr) {
     node_.cpu().compute(self, node_.cost().syscall);
     bool dirty = false;
@@ -75,6 +85,7 @@ Result<PageGrant> DsmServer::loadGrant(sim::Process& self, const ra::PageKey& ke
 
 Result<PageGrant> DsmServer::handleRead(sim::Process& self, net::NodeId client,
                                         const ra::PageKey& key) {
+  ++*m_page_reads_;
   DirEntry& e = directory_[key];
   sim::SimLockGuard guard(e.mu, self);
   node_.cpu().compute(self, node_.cost().dsm_server_lookup);
@@ -100,6 +111,7 @@ Result<PageGrant> DsmServer::handleRead(sim::Process& self, net::NodeId client,
 
 Result<PageGrant> DsmServer::handleWrite(sim::Process& self, net::NodeId client,
                                          const ra::PageKey& key) {
+  ++*m_page_writes_;
   DirEntry& e = directory_[key];
   sim::SimLockGuard guard(e.mu, self);
   node_.cpu().compute(self, node_.cost().dsm_server_lookup);
@@ -122,6 +134,7 @@ Result<PageGrant> DsmServer::handleWrite(sim::Process& self, net::NodeId client,
 
 Result<void> DsmServer::handleWriteBack(sim::Process& self, net::NodeId client,
                                         const ra::PageKey& key, ByteSpan data, bool drop) {
+  ++*m_write_backs_;
   DirEntry& e = directory_[key];
   sim::SimLockGuard guard(e.mu, self);
   node_.cpu().compute(self, node_.cost().dsm_server_lookup);
@@ -295,12 +308,14 @@ Result<void> DsmServer::handleSemV(sim::Process& self, std::uint64_t sem) {
 
 Result<void> DsmServer::handlePrepare(sim::Process& self, std::uint64_t txid,
                                       std::vector<store::PageUpdate> updates) {
+  ++*m_tx_prepares_;
   node_.cpu().compute(self, node_.cost().dsm_server_lookup);
   return store_.prepare(self, txid, std::move(updates));
 }
 
 Result<void> DsmServer::handleCommit(sim::Process& self, net::NodeId committer,
                                      std::uint64_t txid) {
+  ++*m_tx_commits_;
   node_.cpu().compute(self, node_.cost().dsm_server_lookup);
   const std::vector<ra::PageKey> pages = store_.preparedKeys(txid);
   CLOUDS_TRY(store_.commitPrepared(self, txid));
@@ -332,6 +347,7 @@ Result<void> DsmServer::handleCommit(sim::Process& self, net::NodeId committer,
 }
 
 Result<void> DsmServer::handleAbort(sim::Process& self, std::uint64_t txid) {
+  ++*m_tx_aborts_;
   node_.cpu().compute(self, node_.cost().dsm_server_lookup);
   return store_.abortPrepared(self, txid);
 }

@@ -129,6 +129,15 @@ class DsmServer {
   std::uint64_t next_sem_ = 1;
   std::uint64_t invalidations_ = 0;
   std::uint64_t degrades_ = 0;
+  // Registry handles ("<node>/dsm/..."), resolved at construction.
+  std::uint64_t* m_invalidations_;
+  std::uint64_t* m_degrades_;
+  std::uint64_t* m_page_reads_;
+  std::uint64_t* m_page_writes_;
+  std::uint64_t* m_write_backs_;
+  std::uint64_t* m_tx_prepares_;
+  std::uint64_t* m_tx_commits_;
+  std::uint64_t* m_tx_aborts_;
 };
 
 }  // namespace clouds::dsm

@@ -8,6 +8,9 @@ namespace clouds::net {
 
 Nic::Nic(Ethernet& ether, NodeId addr, sim::CpuResource& cpu, std::string name)
     : ether_(ether), addr_(addr), cpu_(cpu), name_(std::move(name)) {
+  sim::MetricsRegistry& metrics = ether_.simulation().metrics();
+  m_sent_ = &metrics.counter(name_ + "/eth/frames_sent");
+  m_received_ = &metrics.counter(name_ + "/eth/frames_received");
   spawnRxProcess();
 }
 
@@ -22,6 +25,7 @@ void Nic::spawnRxProcess() {
       if (!up_) continue;  // interface went down with frames queued
       cpu_.compute(self, ether_.cost().eth_cpu_recv);
       ++received_;
+      ++*m_received_;
       auto it = handlers_.find(frame.protocol);
       if (it != handlers_.end()) {
         it->second(self, frame);
@@ -55,6 +59,7 @@ void Nic::send(sim::Process& self, Frame frame) {
   frame.src = addr_;
   cpu_.compute(self, ether_.cost().eth_cpu_send);
   ++sent_;
+  ++*m_sent_;
   ether_.transmit(frame);
 }
 
@@ -70,7 +75,14 @@ void Nic::enqueueReceived(Frame frame) {
 
 // ---- Ethernet ----
 
-Ethernet::Ethernet(sim::Simulation& sim, const sim::CostModel& cost) : sim_(sim), cost_(cost) {}
+Ethernet::Ethernet(sim::Simulation& sim, const sim::CostModel& cost) : sim_(sim), cost_(cost) {
+  sim::MetricsRegistry& metrics = sim_.metrics();
+  m_on_wire_ = &metrics.counter("net/eth/frames_on_wire");
+  m_dropped_ = &metrics.counter("net/eth/frames_dropped");
+  m_dup_ = &metrics.counter("net/eth/frames_dup");
+  m_bytes_ = &metrics.counter("net/eth/bytes_on_wire");
+  m_busy_usec_ = &metrics.counter("net/eth/busy_usec");
+}
 
 Nic& Ethernet::attach(NodeId addr, sim::CpuResource& cpu, std::string name) {
   if (find(addr) != nullptr) {
@@ -103,11 +115,19 @@ void Ethernet::transmit(const Frame& frame) {
   const sim::TimePoint start = std::max(sim_.now(), medium_free_at_);
   medium_free_at_ = start + tx;
   ++on_wire_;
+  ++*m_on_wire_;
   bytes_ += frame.payload.size() + cost_.eth_header;
+  *m_bytes_ += frame.payload.size() + cost_.eth_header;
+  *m_busy_usec_ += static_cast<std::uint64_t>(tx.count() / 1000);
 
   if (drop) {
     ++dropped_;
+    ++*m_dropped_;
     return;
+  }
+  if (duplicate) {
+    ++duplicated_;
+    ++*m_dup_;
   }
   const sim::TimePoint arrival = medium_free_at_ + cost_.eth_propagation;
   const int copies = duplicate ? 2 : 1;
@@ -120,6 +140,7 @@ void Ethernet::deliver(const Frame& frame) {
   Nic* dst = find(frame.dst);
   if (dst == nullptr) {
     ++dropped_;
+    ++*m_dropped_;
     return;
   }
   dst->enqueueReceived(frame);

@@ -100,6 +100,9 @@ class Nic {
   sim::Process* rx_process_ = nullptr;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  // Per-interface metrics ("<name>/eth/..."), resolved once at construction.
+  std::uint64_t* m_sent_;
+  std::uint64_t* m_received_;
 };
 
 class Ethernet {
@@ -122,6 +125,7 @@ class Ethernet {
 
   std::uint64_t framesOnWire() const noexcept { return on_wire_; }
   std::uint64_t framesDropped() const noexcept { return dropped_; }
+  std::uint64_t framesDuplicated() const noexcept { return duplicated_; }
   std::uint64_t bytesOnWire() const noexcept { return bytes_; }
 
  private:
@@ -138,7 +142,14 @@ class Ethernet {
   int scripted_drops_ = 0;
   std::uint64_t on_wire_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
   std::uint64_t bytes_ = 0;
+  // Medium-wide metrics ("net/eth/..."), resolved once at construction.
+  std::uint64_t* m_on_wire_;
+  std::uint64_t* m_dropped_;
+  std::uint64_t* m_dup_;
+  std::uint64_t* m_bytes_;
+  std::uint64_t* m_busy_usec_;
 };
 
 }  // namespace clouds::net

@@ -15,6 +15,14 @@ constexpr sim::Duration kReplyCacheTtl = sim::sec(5);
 }  // namespace
 
 RatpEndpoint::RatpEndpoint(Nic& nic, std::string name) : nic_(nic), name_(std::move(name)) {
+  sim::MetricsRegistry& metrics = simulation().metrics();
+  m_started_ = &metrics.counter(name_ + "/ratp/transactions");
+  m_completed_ = &metrics.counter(name_ + "/ratp/completed");
+  m_timeouts_ = &metrics.counter(name_ + "/ratp/timeouts");
+  m_retransmits_ = &metrics.counter(name_ + "/ratp/retransmits");
+  m_cache_hits_ = &metrics.counter(name_ + "/ratp/reply_cache_hits");
+  m_frags_ = &metrics.counter(name_ + "/ratp/fragments_sent");
+  m_latency_ = &metrics.histogram(name_ + "/ratp/txn_latency_usec");
   nic_.setHandler(kProtoRatp,
                   [this](sim::Process& self, const Frame& frame) { onFrame(self, frame); });
 }
@@ -44,6 +52,8 @@ Result<Bytes> RatpEndpoint::transact(sim::Process& self, NodeId dst, PortId port
   PendingTx& tx = pending_[txid];
   tx.waiter = &self;
   ++stats_.transactions_started;
+  ++*m_started_;
+  const sim::TimePoint started_at = simulation().now();
 
   // Erase the client-side state even if the calling process is killed while
   // blocked (node crash unwinds through here).
@@ -56,6 +66,7 @@ Result<Bytes> RatpEndpoint::transact(sim::Process& self, NodeId dst, PortId port
   for (int attempt = 0; attempt <= retries; ++attempt) {
     if (attempt > 0) {
       ++stats_.retransmissions;
+      ++*m_retransmits_;
       simulation().trace(name_, "ratp", "retransmit tx " + std::to_string(txid & 0xffffffff) +
                                             " attempt " + std::to_string(attempt));
     }
@@ -66,9 +77,13 @@ Result<Bytes> RatpEndpoint::transact(sim::Process& self, NodeId dst, PortId port
     }
     if (tx.complete) {
       ++stats_.transactions_completed;
+      ++*m_completed_;
+      m_latency_->observe(simulation().now() - started_at);
       return std::move(tx.reply);
     }
   }
+  ++stats_.transactions_timed_out;
+  ++*m_timeouts_;
   return makeError(Errc::timeout, name_ + ": transaction to node " + std::to_string(dst) +
                                       " port " + std::to_string(port) + " timed out");
 }
@@ -96,6 +111,7 @@ void RatpEndpoint::sendMessage(sim::Process& self, NodeId dst, PacketType type,
     frame.payload = std::move(e).take();
     nic_.send(self, std::move(frame));
     ++stats_.fragments_sent;
+    ++*m_frags_;
   }
 }
 
@@ -144,6 +160,7 @@ void RatpEndpoint::onRequestFrag(sim::Process& self, NodeId src, std::uint64_t t
     // once per full retransmitted request (on its final fragment).
     if (index + 1 == count) {
       ++stats_.duplicate_requests_served;
+      ++*m_cache_hits_;
       sendMessage(self, src, PacketType::reply, txid, port, st.reply);
     }
     return;

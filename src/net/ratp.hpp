@@ -55,6 +55,7 @@ struct RatpOptions {
 struct RatpStats {
   std::uint64_t transactions_started = 0;
   std::uint64_t transactions_completed = 0;
+  std::uint64_t transactions_timed_out = 0;
   std::uint64_t retransmissions = 0;
   std::uint64_t duplicate_requests_served = 0;
   std::uint64_t fragments_sent = 0;
@@ -136,6 +137,14 @@ class RatpEndpoint {
   std::vector<sim::Process*> worker_procs_;  // all workers ever spawned (for crash kill)
   int worker_count_ = 0;
   RatpStats stats_;
+  // Registry mirrors of stats_ ("<name>/ratp/..."), resolved at construction.
+  std::uint64_t* m_started_;
+  std::uint64_t* m_completed_;
+  std::uint64_t* m_timeouts_;
+  std::uint64_t* m_retransmits_;
+  std::uint64_t* m_cache_hits_;
+  std::uint64_t* m_frags_;
+  sim::Histogram* m_latency_;
 };
 
 }  // namespace clouds::net

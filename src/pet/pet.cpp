@@ -152,6 +152,7 @@ Result<ResilientResult> PetManager::runResilient(const ReplicatedObject& object,
   coordinator_rt.spawnThread("pet-coordinator", [&, this](obj::CloudsThread& coord) {
     sim::Process& self = *coord.process;
     ResilientResult rr;
+    ++*m_runs_;
 
     // Which compute servers are alive for PET placement?
     std::vector<int> compute_alive;
@@ -198,6 +199,7 @@ Result<ResilientResult> PetManager::runResilient(const ReplicatedObject& object,
           object.replicas[static_cast<std::size_t>(replica)], entry, args);
       pets.push_back(std::move(pet));
       ++rr.threads_started;
+      ++*m_threads_started_;
     }
 
     // Wait for completions; once one finishes give stragglers a short
@@ -222,16 +224,25 @@ Result<ResilientResult> PetManager::runResilient(const ReplicatedObject& object,
     }
 
     for (const Pet& p : pets) {
-      if (p.handle->done && p.handle->result.ok()) ++rr.threads_completed;
+      if (p.handle->done && p.handle->result.ok()) {
+        ++rr.threads_completed;
+        ++*m_threads_completed_;
+      }
     }
 
     // Choose terminating threads in completion-friendly order; propagate to
     // a write quorum. "If there is a failure in committing this thread,
     // another completed thread is chosen."
     const int quorum = static_cast<int>(object.replicas.size()) / 2 + 1;
+    bool commit_attempted = false;
     for (std::size_t i = 0; i < pets.size(); ++i) {
       Pet& p = pets[i];
       if (!p.handle->done || !p.handle->result.ok()) continue;
+      // Every candidate after a failed commit attempt is a replica failover
+      // ("if there is a failure in committing this thread, another completed
+      // thread is chosen").
+      if (commit_attempted) ++*m_failovers_;
+      commit_attempted = true;
       VersionVector working = vv.value();
       const int written = propagate(self, coordinator_rt, object, p.replica, working);
       if (written >= quorum) {
@@ -239,6 +250,7 @@ Result<ResilientResult> PetManager::runResilient(const ReplicatedObject& object,
         rr.value = p.handle->result.value();
         rr.replicas_written = written;
         rr.terminating_thread = static_cast<int>(i);
+        *m_replicas_written_ += static_cast<std::uint64_t>(written);
         out = rr;
         return;
       }

@@ -48,7 +48,14 @@ struct ResilientResult {
 
 class PetManager {
  public:
-  explicit PetManager(Cluster& cluster) : cluster_(cluster) {}
+  explicit PetManager(Cluster& cluster) : cluster_(cluster) {
+    sim::MetricsRegistry& metrics = cluster_.sim().metrics();
+    m_runs_ = &metrics.counter("pet/runs");
+    m_threads_started_ = &metrics.counter("pet/threads_started");
+    m_threads_completed_ = &metrics.counter("pet/threads_completed");
+    m_failovers_ = &metrics.counter("pet/replica_failovers");
+    m_replicas_written_ = &metrics.counter("pet/replicas_written");
+  }
 
   // Replicate a class instance across `replicas` distinct data servers and
   // bind the set under `name`. All replicas start from the same
@@ -81,6 +88,12 @@ class PetManager {
                 int winner_idx, VersionVector& vv);
 
   Cluster& cluster_;
+  // Registry handles ("pet/..."), resolved at construction.
+  std::uint64_t* m_runs_;
+  std::uint64_t* m_threads_started_;
+  std::uint64_t* m_threads_completed_;
+  std::uint64_t* m_failovers_;
+  std::uint64_t* m_replicas_written_;
 };
 
 }  // namespace clouds::pet

@@ -13,7 +13,9 @@ Node::Node(sim::Simulation& sim, const sim::CostModel& cost, net::Ethernet& ethe
       roles_(roles),
       cpu_(cost.context_switch),
       nic_(ether.attach(id, cpu_, name_)),
-      ratp_(nic_, name_) {}
+      ratp_(nic_, name_) {
+  cpu_.attachMetrics(sim_.metrics(), name_);
+}
 
 sim::Process& Node::spawnIsiBa(const std::string& name, std::function<void(sim::Process&)> body) {
   sim::Process& p = sim_.spawn(name_ + "." + name, std::move(body));

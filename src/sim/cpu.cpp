@@ -14,6 +14,11 @@ namespace {
 constexpr Duration kQuantum = msec(1);
 }  // namespace
 
+void CpuResource::attachMetrics(MetricsRegistry& metrics, const std::string& prefix) {
+  m_switches_ = &metrics.counter(prefix + "/cpu/context_switches");
+  m_busy_usec_ = &metrics.counter(prefix + "/cpu/busy_usec");
+}
+
 void CpuResource::compute(Process& self, Duration work) {
   Duration remaining = work;
   bool first = true;
@@ -23,9 +28,11 @@ void CpuResource::compute(Process& self, Duration work) {
     if (last_user_ != &self) {
       slice += switch_cost_;
       ++switches_;
+      if (m_switches_ != nullptr) ++*m_switches_;
       last_user_ = &self;
     }
     busy_ += slice;
+    if (m_busy_usec_ != nullptr) *m_busy_usec_ += static_cast<std::uint64_t>(slice.count() / 1000);
     if (slice > kZero) self.delay(slice);
     remaining -= std::min(remaining, kQuantum);
     first = false;

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/metrics.hpp"
 #include "sim/sync.hpp"
 #include "sim/time.hpp"
 
@@ -17,6 +18,11 @@ namespace clouds::sim {
 class CpuResource {
  public:
   CpuResource(Duration context_switch_cost) : switch_cost_(context_switch_cost) {}
+
+  // Bind this CPU's scheduler metrics ("<prefix>/cpu/context_switches",
+  // "<prefix>/cpu/busy_usec"). The Ra node layer attaches its CPU at
+  // construction; bare CpuResources (micro-benches) stay unmetered.
+  void attachMetrics(MetricsRegistry& metrics, const std::string& prefix);
 
   // Consume `work` of CPU time (plus a context switch if the previous user
   // was a different process). Blocks while other processes occupy the CPU.
@@ -31,6 +37,8 @@ class CpuResource {
   const Process* last_user_ = nullptr;
   std::uint64_t switches_ = 0;
   Duration busy_ = kZero;
+  std::uint64_t* m_switches_ = nullptr;
+  std::uint64_t* m_busy_usec_ = nullptr;
 };
 
 }  // namespace clouds::sim

@@ -1,0 +1,91 @@
+// Simulation-wide metrics.
+//
+// A MetricsRegistry holds named counters, gauges and fixed-bucket latency
+// histograms, scoped by convention as "<node>/<subsystem>/<metric>" (e.g.
+// "cs0/ratp/retransmits", "ds1/dsm/read_faults") — see docs/OBSERVABILITY.md.
+// Like the TraceSink, the registry is part of the simulated universe: every
+// value is a pure function of the seed, and toJson() emits a sorted,
+// integer-only snapshot with no wall-clock times or pointers, so two runs
+// with the same seed produce byte-identical snapshots (the determinism test
+// asserts exactly that).
+//
+// Hot subsystems resolve their metrics once at construction and keep the
+// returned references: map nodes are stable, so a cached &counter(...) stays
+// valid for the registry's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace clouds::sim {
+
+// Fixed-bucket histogram. Values are recorded as plain integers; latency
+// histograms record microseconds (observe(Duration) converts). counts() has
+// one slot per bound (value <= bound, first match) plus a final overflow
+// slot, so the bucket counts always sum to count().
+class Histogram {
+ public:
+  // Exponential microsecond grid covering the paper's latencies (0.1 ms
+  // context switches up to multi-second retry horizons).
+  static const std::vector<std::int64_t>& defaultLatencyBoundsUsec();
+
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t value);
+  void observe(Duration d) { observe(d.count() / 1000); }  // as microseconds
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::int64_t sum() const noexcept { return sum_; }
+  const std::vector<std::int64_t>& bounds() const noexcept { return bounds_; }
+  const std::vector<std::uint64_t>& bucketCounts() const noexcept { return counts_; }
+
+  // Fold another histogram in. Both must share bounds (same metric from
+  // same-config universes); mismatched shapes are a programming error.
+  void merge(const Histogram& other);
+  void clear();
+
+ private:
+  std::vector<std::int64_t> bounds_;   // ascending inclusive upper bounds
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1, last = overflow
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // Find-or-create. The returned reference is stable for the registry's
+  // lifetime; subsystems cache it and bump it directly on hot paths.
+  std::uint64_t& counter(const std::string& name);
+  std::int64_t& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);  // default latency buckets
+  Histogram& histogram(const std::string& name, std::vector<std::int64_t> bounds);
+
+  // Read-only lookups (0 / nullptr when the metric was never registered).
+  std::uint64_t counterValue(const std::string& name) const;
+  std::int64_t gaugeValue(const std::string& name) const;
+  const Histogram* findHistogram(const std::string& name) const;
+
+  // Fold another registry in: counters and gauges add, histograms merge.
+  // Commutative — merging A into B equals merging B into A.
+  void merge(const MetricsRegistry& other);
+  void clear();
+
+  // Deterministic snapshot: keys sorted (std::map order), integers only,
+  // no whitespace. Same seed => byte-identical output.
+  std::string toJson() const;
+
+  std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace clouds::sim

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/metrics.hpp"
 #include "sim/process.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -54,6 +55,10 @@ class Simulation {
   std::mt19937_64& rng() noexcept { return rng_; }
   double uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(rng_); }
 
+  // Per-simulation metrics: part of the deterministic universe, like traces.
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
   TraceSink& tracer() noexcept { return trace_; }
   void trace(std::string source, std::string category, std::string message) {
     trace_.record(now_, std::move(source), std::move(category), std::move(message));
@@ -87,6 +92,7 @@ class Simulation {
   std::vector<std::unique_ptr<Process>> processes_;
   std::mt19937_64 rng_;
   TraceSink trace_;
+  MetricsRegistry metrics_;
 };
 
 // Convenience: the simulation clock as milliseconds (for reports/benches).

@@ -15,15 +15,16 @@ struct RunResult {
   std::size_t trace_count = 0;
   std::int64_t counter = 0;
   sim::TimePoint end{};
+  std::string metrics_json;
 };
 
-RunResult runWorkload(std::uint64_t seed) {
+RunResult runWorkload(std::uint64_t seed, bool keep_entries = false) {
   ClusterConfig cfg;
   cfg.compute_servers = 2;
   cfg.data_servers = 2;
   cfg.seed = seed;
   Cluster cluster(cfg);
-  cluster.sim().tracer().setKeepEntries(false);
+  cluster.sim().tracer().setKeepEntries(keep_entries);
   obj::samples::registerAll(cluster.classes());
 
   (void)cluster.create("counter", "C", 0);
@@ -42,6 +43,7 @@ RunResult runWorkload(std::uint64_t seed) {
   out.digest = cluster.sim().tracer().digest();
   out.trace_count = cluster.sim().tracer().count();
   out.end = cluster.sim().now();
+  out.metrics_json = cluster.sim().metrics().toJson();
   return out;
 }
 
@@ -52,7 +54,21 @@ TEST(Determinism, SameSeedSameUniverse) {
   EXPECT_EQ(a.trace_count, b.trace_count);
   EXPECT_EQ(a.counter, b.counter);
   EXPECT_EQ(a.end, b.end);
+  // The metrics snapshot is part of the determinism contract: same seed,
+  // byte-identical JSON (sorted keys, integer values, no wall-clock).
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
   EXPECT_EQ(a.counter, 5);  // and the workload itself succeeded
+}
+
+TEST(Determinism, MetricsUnaffectedByTraceStorageMode) {
+  // setKeepEntries(false) changes only whether trace entries are stored;
+  // the universe itself — and hence digest and metrics — must not move.
+  const RunResult lean = runWorkload(20240705, /*keep_entries=*/false);
+  const RunResult full = runWorkload(20240705, /*keep_entries=*/true);
+  EXPECT_EQ(lean.digest, full.digest);
+  EXPECT_EQ(lean.trace_count, full.trace_count);
+  EXPECT_EQ(lean.metrics_json, full.metrics_json);
+  EXPECT_EQ(lean.end, full.end);
 }
 
 TEST(Determinism, DifferentSeedDivergesButStaysCorrect) {
@@ -60,6 +76,7 @@ TEST(Determinism, DifferentSeedDivergesButStaysCorrect) {
   const RunResult b = runWorkload(2);
   // Different backoff draws => different event interleavings...
   EXPECT_NE(a.digest, b.digest);
+  EXPECT_NE(a.metrics_json, b.metrics_json);
   // ...but identical semantics.
   EXPECT_EQ(a.counter, 5);
   EXPECT_EQ(b.counter, 5);

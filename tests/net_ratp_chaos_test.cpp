@@ -1,0 +1,165 @@
+// Chaos sweep for RaTP under seeded random frame loss and duplication.
+//
+// Invariants under any drop/dup rate:
+//  * every transaction either completes with the correct echo payload or
+//    fails with Errc::timeout once the retry budget is exhausted — no hangs,
+//    no corrupted replies, no other error codes;
+//  * the metrics registry mirrors the authoritative protocol counters
+//    exactly (retransmits, timeouts, frames dropped/duplicated);
+//  * the whole run — including its metrics snapshot — is a pure function of
+//    the simulation seed.
+// Registered with the `chaos` CTest label.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "net/ratp.hpp"
+#include "sim/cost_model.hpp"
+
+namespace clouds::net {
+namespace {
+
+struct ChaosRun {
+  int completed = 0;
+  int timed_out = 0;
+  std::string metrics_json;
+};
+
+// Run kCalls echo transactions through a lossy medium and cross-check every
+// metric against the subsystem's own accounting before returning.
+ChaosRun runChaos(std::uint64_t seed, double drop, double dup) {
+  sim::Simulation sim(seed);
+  sim::CostModel cost;
+  Ethernet ether(sim, cost);
+  sim::CpuResource ca(cost.context_switch), cb(cost.context_switch);
+  Nic& na = ether.attach(1, ca, "client");
+  Nic& nb = ether.attach(2, cb, "server");
+  RatpEndpoint client(na, "client");
+  RatpEndpoint server(nb, "server");
+  ether.setDropRate(drop);
+  ether.setDuplicateRate(dup);
+  server.bindService(kPortEcho,
+                     [](sim::Process&, NodeId, const Bytes& req) { return req; });
+
+  constexpr int kCalls = 16;
+  ChaosRun out;
+  sim.spawn("chaos-caller", [&](sim::Process& self) {
+    for (int i = 0; i < kCalls; ++i) {
+      // Size sweep crosses the fragmentation threshold several times.
+      Bytes payload(static_cast<std::size_t>(40 + i * 450));
+      for (std::size_t j = 0; j < payload.size(); ++j) {
+        payload[j] = static_cast<std::byte>(j * 13 + static_cast<std::size_t>(i));
+      }
+      auto r = client.transact(self, 2, kPortEcho, payload);
+      if (r.ok()) {
+        ASSERT_EQ(r.value(), payload) << "corrupted echo, call " << i;
+        ++out.completed;
+      } else {
+        // The only legal failure is a timeout after the full retry budget.
+        ASSERT_EQ(r.code(), Errc::timeout) << "call " << i;
+        ++out.timed_out;
+      }
+    }
+  });
+  sim.run();
+
+  const sim::MetricsRegistry& m = sim.metrics();
+  EXPECT_EQ(out.completed + out.timed_out, kCalls);
+
+  // Registry counters must mirror the protocol's own structs exactly.
+  EXPECT_EQ(m.counterValue("client/ratp/transactions"),
+            client.stats().transactions_started);
+  EXPECT_EQ(m.counterValue("client/ratp/retransmits"), client.stats().retransmissions);
+  EXPECT_EQ(m.counterValue("client/ratp/timeouts"), client.stats().transactions_timed_out);
+  EXPECT_EQ(m.counterValue("client/ratp/fragments_sent"), client.stats().fragments_sent);
+  EXPECT_EQ(m.counterValue("server/ratp/reply_cache_hits"),
+            server.stats().duplicate_requests_served);
+  EXPECT_EQ(client.stats().transactions_started, static_cast<std::uint64_t>(kCalls));
+  EXPECT_EQ(client.stats().transactions_completed, static_cast<std::uint64_t>(out.completed));
+  EXPECT_EQ(client.stats().transactions_timed_out, static_cast<std::uint64_t>(out.timed_out));
+
+  // ...and the medium's drop/dup accounting.
+  EXPECT_EQ(m.counterValue("net/eth/frames_dropped"), ether.framesDropped());
+  EXPECT_EQ(m.counterValue("net/eth/frames_dup"), ether.framesDuplicated());
+  EXPECT_EQ(m.counterValue("net/eth/frames_on_wire"), ether.framesOnWire());
+  EXPECT_EQ(m.counterValue("net/eth/bytes_on_wire"), ether.bytesOnWire());
+
+  // Completed transactions each record one latency sample.
+  const sim::Histogram* lat = m.findHistogram("client/ratp/txn_latency_usec");
+  EXPECT_NE(lat, nullptr);
+  if (lat != nullptr) {
+    EXPECT_EQ(lat->count(), static_cast<std::uint64_t>(out.completed));
+  }
+
+  if (drop == 0.0) {
+    EXPECT_EQ(ether.framesDropped(), 0u);
+    EXPECT_EQ(out.timed_out, 0);
+    EXPECT_EQ(client.stats().retransmissions, 0u);
+  } else {
+    // A lossy wire must actually have lost frames for the sweep to mean
+    // anything, and every loss-triggered retransmission is visible.
+    EXPECT_GT(ether.framesDropped(), 0u);
+    EXPECT_GT(client.stats().retransmissions, 0u);
+  }
+
+  out.metrics_json = m.toJson();
+  return out;
+}
+
+class RatpChaosSweep : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(RatpChaosSweep, CompletesOrTimesOutAndMetricsBalance) {
+  const auto [drop, dup] = GetParam();
+  const ChaosRun a = runChaos(0xC10DD5, drop, dup);
+  // Same seed, same rates: byte-identical metrics snapshot.
+  const ChaosRun b = runChaos(0xC10DD5, drop, dup);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+}
+
+INSTANTIATE_TEST_SUITE_P(DropDupMatrix, RatpChaosSweep,
+                         ::testing::Values(std::make_tuple(0.0, 0.0),
+                                           std::make_tuple(0.05, 0.0),
+                                           std::make_tuple(0.2, 0.0),
+                                           std::make_tuple(0.0, 0.05),
+                                           std::make_tuple(0.05, 0.05),
+                                           std::make_tuple(0.2, 0.2)));
+
+TEST(RatpChaos, UnreachableNodeSpendsExactRetryBudget) {
+  // A destination that does not exist: every frame is dropped by the medium
+  // (no such NIC), so the transaction must burn the whole retry budget and
+  // surface Errc::timeout, with every retransmission visible in metrics.
+  sim::Simulation sim(99);
+  sim::CostModel cost;
+  Ethernet ether(sim, cost);
+  sim::CpuResource ca(cost.context_switch);
+  Nic& na = ether.attach(1, ca, "client");
+  RatpEndpoint client(na, "client");
+
+  constexpr int kRetries = 3;
+  Errc code = Errc::ok;
+  sim.spawn("caller", [&](sim::Process& self) {
+    RatpOptions opts;
+    opts.timeout = sim::msec(15);
+    opts.max_retries = kRetries;
+    auto r = client.transact(self, 77, kPortEcho, toBytes("void"), opts);
+    code = r.ok() ? Errc::ok : r.code();
+  });
+  sim.run();
+
+  EXPECT_EQ(code, Errc::timeout);
+  const sim::MetricsRegistry& m = sim.metrics();
+  const auto expected = static_cast<std::uint64_t>(kRetries);
+  EXPECT_EQ(client.stats().retransmissions, expected);
+  EXPECT_EQ(m.counterValue("client/ratp/retransmits"), expected);
+  EXPECT_EQ(m.counterValue("client/ratp/timeouts"), 1u);
+  EXPECT_EQ(m.counterValue("client/ratp/completed"), 0u);
+  // Every frame sent at a nonexistent destination is dropped by the medium.
+  EXPECT_EQ(ether.framesDropped(), ether.framesOnWire());
+  EXPECT_EQ(m.counterValue("net/eth/frames_dropped"), ether.framesDropped());
+}
+
+}  // namespace
+}  // namespace clouds::net

@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 #include "clouds/cluster.hpp"
 #include "clouds/standard_classes.hpp"
+#include "sim/fault.hpp"
 
 namespace {
 
@@ -115,6 +116,74 @@ void BM_CommitProtocolAblation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CommitProtocolAblation)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Chaos row: the GCP transfer mix while one teller's compute server crashes
+// mid-run and reboots 500 ms later (scripted FaultPlan). Tellers on the
+// crashed node die mid-transaction; the books must still balance — GCP
+// atomicity plus server-side lock reclamation is what the row exercises.
+void BM_TransferGCPChaos(benchmark::State& state) {
+  const int threads = 4;
+  const int ops_per_thread = 10;
+  const int accounts = 64;
+  int iter = 0;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.compute_servers = 2;
+    cfg.data_servers = 1;
+    cfg.workstations = 0;
+    Cluster cluster(cfg);
+    obj::samples::registerAll(cluster.classes());
+    (void)cluster.create("bank", "Bank");
+    (void)cluster.call("Bank", "init", {accounts, 1000});
+
+    obj::ClassDef teller;
+    teller.name = "teller";
+    teller.entry("run", [ops_per_thread, accounts](obj::ObjectContext& ctx,
+                                                   const obj::ValueList& args)
+                            -> Result<obj::Value> {
+      CLOUDS_TRY_ASSIGN(id, args[0].asInt());
+      std::int64_t committed = 0;
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const std::int64_t from = (id * 7 + i * 3) % accounts;
+        const std::int64_t to = (id * 5 + i * 11 + 1) % accounts;
+        auto r = ctx.call("Bank", "transfer", {from, to, 5});
+        if (r.ok()) ++committed;
+      }
+      return obj::Value{committed};
+    });
+    cluster.classes().registerClass(std::move(teller));
+    (void)cluster.create("teller", "T");
+
+    sim::FaultPlan plan(cluster.sim(), /*plan_seed=*/11);
+    cluster.installFaultHooks(plan);
+    plan.crashAt("cpu1", sim::msec(200), sim::msec(500));
+    plan.arm();
+
+    const auto start = cluster.sim().now();
+    std::vector<std::shared_ptr<obj::Runtime::ThreadHandle>> handles;
+    for (int t = 0; t < threads; ++t) {
+      handles.push_back(cluster.start("T", "run", {t}, t % 2));
+    }
+    cluster.run();
+    int committed = 0;
+    sim::TimePoint last_done = start;
+    for (auto& h : handles) {
+      if (h->done && h->result.ok()) {
+        committed += static_cast<int>(h->result.value().intOr(0));
+        last_done = std::max(last_done, h->completed_at);
+      }
+    }
+    const auto total = cluster.call("Bank", "total");
+    const bool conserved = total.ok() && total.value() == obj::Value{accounts * 1000};
+    if (iter++ == 0) bench::emitMetrics("BM_TransferGCPChaos", cluster.sim());
+    bench::report(state, bench::ms(last_done - start), 0);
+    state.counters["committed"] = committed;
+    state.counters["conserved"] = conserved ? 1 : 0;
+    state.counters["locks_reclaimed"] = static_cast<double>(
+        cluster.sim().metrics().counterValue("data0/dsm/locks_reclaimed"));
+  }
+}
+BENCHMARK(BM_TransferGCPChaos)->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

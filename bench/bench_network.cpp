@@ -13,6 +13,7 @@
 #include "net/comparators.hpp"
 #include "net/ratp.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/fault.hpp"
 
 namespace {
 
@@ -135,6 +136,52 @@ void BM_PageTransfer8K_FTP(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PageTransfer8K_FTP)->UseManualTime()->Iterations(3)->Unit(benchmark::kMillisecond);
+
+// Chaos sweep: throughput of a stream of RaTP transactions while the server
+// crashes at 30 ms and reboots 60 ms later (scripted FaultPlan). Counters
+// report the completed/failed split; transactions in the outage window
+// either ride retransmits across the reboot or burn their retry budget.
+void BM_RatpCrashRebootRecovery(benchmark::State& state) {
+  int iter = 0;
+  for (auto _ : state) {
+    TwoNodes m;
+    net::RatpEndpoint client(m.nicA, "client");
+    net::RatpEndpoint server(m.nicB, "server");
+    server.bindService(net::kPortEcho,
+                       [](sim::Process&, net::NodeId, const Bytes& req) { return req; });
+    sim::FaultPlan plan(m.sim, /*plan_seed=*/7);
+    plan.registerTarget("b", sim::FaultHooks{
+                                 [&] {
+                                   m.nicB.crash();
+                                   server.onCrash();
+                                 },
+                                 [&] { m.nicB.restart(); },
+                                 nullptr,
+                             });
+    plan.crashAt("b", sim::msec(30), sim::msec(60));
+    plan.arm();
+    int completed = 0;
+    int failed = 0;
+    const int kCalls = 40;
+    sim::TimePoint done = sim::kZero;
+    m.sim.spawn("caller", [&](sim::Process& self) {
+      for (int i = 0; i < kCalls; ++i) {
+        auto r = client.transact(self, 2, net::kPortEcho, Bytes(72));
+        (r.ok() ? completed : failed)++;
+        self.delay(sim::msec(5));
+      }
+      done = m.sim.now();
+    });
+    m.sim.run();
+    if (iter++ == 0) bench::emitMetrics("BM_RatpCrashRebootRecovery", m.sim);
+    bench::report(state, bench::ms(done), 0);
+    state.counters["completed"] = completed;
+    state.counters["failed"] = failed;
+    state.counters["peer_deaths"] =
+        static_cast<double>(client.stats().peer_deaths);
+  }
+}
+BENCHMARK(BM_RatpCrashRebootRecovery)->UseManualTime()->Iterations(3)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

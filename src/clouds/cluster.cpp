@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "sim/fault.hpp"
+
 namespace clouds {
 
 namespace {
@@ -24,6 +26,7 @@ Cluster::Machine Cluster::makeMachine(net::NodeId id, const std::string& name, b
   if (data_role) {
     m.store =
         std::make_unique<store::DiskStore>(m.node->id(), config_.cost, config_.store_cache_pages);
+    m.store->attachMetrics(sim_.metrics(), name);
     m.server = std::make_unique<dsm::DsmServer>(*m.node, *m.store);
   }
   if (compute_role) {
@@ -220,6 +223,79 @@ std::string Cluster::Stats::toString() const {
                 static_cast<unsigned long long>(disk_reads),
                 static_cast<unsigned long long>(disk_writes));
   return buf;
+}
+
+void Cluster::notifyClientCrash(net::NodeId client) {
+  // Surviving data servers detect the dead client (peer death / membership)
+  // and purge its page copies and locks instead of waiting out lease TTLs.
+  for (auto& dv : data_view_) {
+    if (!dv.node->alive() || dv.node->id() == client) continue;
+    dv.server->onClientCrash(client);
+  }
+}
+
+void Cluster::crashCompute(int idx) {
+  ra::Node& n = *compute_view_.at(idx).node;
+  n.crash();
+  notifyClientCrash(n.id());
+}
+
+void Cluster::crashData(int idx) {
+  ra::Node& n = *data_view_.at(idx).node;
+  n.crash();
+  // A combined machine's compute role dies with it.
+  if (n.hasRole(ra::NodeRole::compute)) notifyClientCrash(n.id());
+}
+
+std::vector<net::NodeId> Cluster::resolveNames(const std::vector<std::string>& names) const {
+  std::vector<net::NodeId> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    net::NodeId id = net::kNoNode;
+    for (const auto& m : machines_) {
+      if (m.node->name() == name) id = m.node->id();
+    }
+    for (const auto& wn : workstations_) {
+      if (wn.node->name() == name) id = wn.node->id();
+    }
+    if (id == net::kNoNode) throw std::logic_error("Cluster: unknown node name '" + name + "'");
+    out.push_back(id);
+  }
+  return out;
+}
+
+void Cluster::installFaultHooks(sim::FaultPlan& plan) {
+  for (auto& m : machines_) {
+    ra::Node* node = m.node.get();
+    sim::FaultHooks hooks;
+    hooks.crash = [this, node] {
+      node->crash();
+      if (node->hasRole(ra::NodeRole::compute)) notifyClientCrash(node->id());
+    };
+    hooks.reboot = [node] { node->restart(); };
+    if (m.store != nullptr) {
+      store::DiskStore* st = m.store.get();
+      hooks.disk_faulty = [st](bool faulty) { st->setFaulty(faulty); };
+    }
+    plan.registerTarget(node->name(), std::move(hooks));
+  }
+  for (auto& wn : workstations_) {
+    ra::Node* node = wn.node.get();
+    sim::FaultHooks hooks;
+    hooks.crash = [node] { node->crash(); };
+    hooks.reboot = [node] { node->restart(); };
+    plan.registerTarget(node->name(), std::move(hooks));
+  }
+  sim::MediumFaultHooks medium;
+  medium.partition = [this](const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+    ether_.partitionGroups(resolveNames(a), resolveNames(b));
+  };
+  medium.heal = [this](const std::vector<std::string>& a, const std::vector<std::string>& b) {
+    ether_.healGroups(resolveNames(a), resolveNames(b));
+  };
+  medium.loss_rate = [this](double rate) { ether_.setDropRate(rate); };
+  plan.setMediumHooks(std::move(medium));
 }
 
 int Cluster::scheduleComputeServer() const {

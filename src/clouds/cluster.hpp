@@ -23,6 +23,10 @@
 #include "dsm/server.hpp"
 #include "sim/simulation.hpp"
 
+namespace clouds::sim {
+class FaultPlan;
+}
+
 namespace clouds {
 
 struct ClusterConfig {
@@ -125,10 +129,18 @@ class Cluster {
   Stats stats() const;
 
   // ---- Failure injection (paper §5.2) ----
-  void crashCompute(int idx) { compute_view_.at(idx).node->crash(); }
-  void crashData(int idx) { data_view_.at(idx).node->crash(); }
+  // Crashing a compute role notifies the surviving data servers so they
+  // purge the dead client's page copies and reclaim its locks.
+  void crashCompute(int idx);
+  void restartCompute(int idx) { compute_view_.at(idx).node->restart(); }
+  void crashData(int idx);
   void restartData(int idx) { data_view_.at(idx).node->restart(); }
   void crashWorkstation(int idx) { workstations_.at(idx).node->crash(); }
+
+  // Register every machine and workstation (by node name) plus the shared
+  // medium with a fault plan; scripted plans then drive the same lifecycle
+  // paths as the crash*/restart* calls above.
+  void installFaultHooks(sim::FaultPlan& plan);
 
  private:
   struct Machine {  // one physical node, any combination of roles
@@ -159,6 +171,8 @@ class Cluster {
   Machine makeMachine(net::NodeId id, const std::string& name, bool data_role,
                       bool compute_role);
   void finishComputeRole(Machine& m);
+  void notifyClientCrash(net::NodeId client);
+  std::vector<net::NodeId> resolveNames(const std::vector<std::string>& names) const;
 
   ClusterConfig config_;
   sim::Simulation sim_;

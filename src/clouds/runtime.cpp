@@ -38,7 +38,12 @@ Runtime::Runtime(ra::Node& node, dsm::DsmClientPartition& dsm, ra::AnonPartition
       io_(node) {
   bindThreadService();
   node_.onCrashHook([this] {
-    active_.clear();  // activations are volatile kernel state
+    // Activations are volatile kernel state. Threads killed by the crash
+    // unwind *after* this hook runs, so their invocation frames still hold
+    // raw ActiveObject pointers into active_; bumping the epoch tells those
+    // frames their activation is gone and must not be touched.
+    ++activation_epoch_;
+    active_.clear();
   });
 }
 
@@ -262,14 +267,18 @@ Result<Value> Runtime::invokeOnce(CloudsThread& t, const Sysname& object,
   t.call_stack.push_back(object);
   t.label_stack.push_back(ep->label);
   struct Cleanup {
+    Runtime* rt;
     ActiveObject* ao;
     CloudsThread* t;
+    std::uint64_t epoch;
     ~Cleanup() {
-      ao->executing_threads -= 1;
+      // A node crash destroys every activation before the killed threads
+      // unwind; ao then dangles. The epoch mismatch detects that case.
+      if (rt->activation_epoch_ == epoch) ao->executing_threads -= 1;
       t->call_stack.pop_back();
       t->label_stack.pop_back();
     }
-  } cleanup{ao, &t};
+  } cleanup{this, ao, &t, activation_epoch_};
 
   // Demand-page the entry's working set: its code page plus the first data
   // and heap pages (the entry prologue reaches the object's static data and

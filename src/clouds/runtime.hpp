@@ -119,6 +119,9 @@ class Runtime {
   sysobj::NameClient names_;
   sysobj::IoClient io_;
   std::map<Sysname, ActiveObject> active_;
+  // Bumped whenever active_ is wiped wholesale (node crash); lets in-flight
+  // invocation frames detect that their ActiveObject* no longer exists.
+  std::uint64_t activation_epoch_ = 0;
   std::vector<std::unique_ptr<CloudsThread>> threads_;
   std::uint64_t next_thread_ = 1;
   RuntimeStats stats_;

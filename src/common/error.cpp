@@ -16,6 +16,7 @@ const char* errcName(Errc e) noexcept {
     case Errc::bad_argument: return "bad_argument";
     case Errc::io: return "io";
     case Errc::killed: return "killed";
+    case Errc::busy: return "busy";
     case Errc::internal: return "internal";
   }
   return "unknown";

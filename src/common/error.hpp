@@ -28,6 +28,7 @@ enum class Errc : std::uint8_t {
   bad_argument,       // malformed request or parameter type mismatch
   io,                 // simulated disk error
   killed,             // executing thread's node crashed
+  busy,               // resource temporarily held (e.g. txn-pinned frame); retry
   internal,           // invariant failure inside a subsystem (bug)
 };
 

@@ -31,6 +31,11 @@ void TxnRuntime::onAccess(sim::Process& self, TxScope& scope, const Sysname& seg
   scope.lock_servers.insert(ra::sysnameHome(segment));
   if (need_write) {
     scope.write_set.insert(segment);
+    // While this scope is open the segment's dirty frames must not be
+    // surrendered to coherence callbacks or evicted: either would publish
+    // uncommitted bytes to the store, and a later abort could not unwrite
+    // them (observable as a phantom half-transaction after a crash).
+    dsm_.pinSegment(segment);
   } else {
     scope.read_set.insert(segment);
   }
@@ -70,9 +75,14 @@ Result<void> TxnRuntime::commitGlobal(sim::Process& self, TxScope& scope) {
   for (const auto& [server, updates] : by_server) {
     auto r = sendPrepare(self, server, scope.txid, updates);
     if (!r.ok()) {
+      ++*m_participant_failures_;
       node_.simulation().trace(node_.name(), "txn",
                                "prepare failed at node " + std::to_string(server) + ": " +
                                    r.error().toString());
+      // Include the failed server in the abort round: the participant may
+      // have logged the prepare even though its reply was lost, and an
+      // unresolved entry would pin its locks and log space.
+      prepared.insert(server);
       rollback(self, scope, prepared);
       return makeError(Errc::aborted, "2PC prepare failed: " + r.error().toString());
     }
@@ -85,6 +95,7 @@ Result<void> TxnRuntime::commitGlobal(sim::Process& self, TxScope& scope) {
     (void)updates;
     auto r = sendDecision(self, server, scope.txid, /*commit=*/true);
     if (!r.ok()) {
+      ++*m_participant_failures_;
       node_.simulation().trace(node_.name(), "txn",
                                "commit decision to node " + std::to_string(server) +
                                    " undelivered (in doubt): " + r.error().toString());
@@ -132,6 +143,7 @@ void TxnRuntime::rollback(sim::Process& self, TxScope& scope,
 }
 
 void TxnRuntime::releaseLocks(sim::Process& self, TxScope& scope) {
+  for (const Sysname& seg : scope.write_set) dsm_.unpinSegment(seg);
   for (net::NodeId server : scope.lock_servers) {
     (void)sync_.unlockAll(self, server, scope.txid);
   }
@@ -161,8 +173,15 @@ Result<void> TxnRuntime::sendDecision(sim::Process& self, net::NodeId server, st
   Encoder e;
   e.u8(static_cast<std::uint8_t>(commit ? dsm::Op::tx_commit : dsm::Op::tx_abort));
   e.u64(txid);
-  CLOUDS_TRY_ASSIGN(reply,
-                    node_.ratp().transact(self, server, net::kPortCommit, std::move(e).take()));
+  // A commit decision must survive a participant's crash+reboot window:
+  // retransmit for ~1 s so the retried (idempotent) decision lands on the
+  // rebooted server's durable prepared log. Aborts are best-effort — an
+  // undelivered abort is mopped up by lease expiry and the in-doubt scan.
+  net::RatpOptions opts;
+  opts.max_retries =
+      commit ? node_.cost().txn_decision_retries : node_.cost().txn_cleanup_retries;
+  CLOUDS_TRY_ASSIGN(reply, node_.ratp().transact(self, server, net::kPortCommit,
+                                                 std::move(e).take(), opts));
   Decoder d(reply);
   return dsm::decodeStatus(d, commit ? "tx_commit" : "tx_abort");
 }

@@ -56,6 +56,7 @@ class TxnRuntime {
     m_commits_ = &metrics.counter(node_.name() + "/txn/commits");
     m_aborts_ = &metrics.counter(node_.name() + "/txn/aborts");
     m_lock_waits_ = &metrics.counter(node_.name() + "/txn/lock_waits");
+    m_participant_failures_ = &metrics.counter(node_.name() + "/txn/participant_failures");
     m_commit_latency_ = &metrics.histogram(node_.name() + "/txn/commit_latency_usec");
   }
 
@@ -96,6 +97,7 @@ class TxnRuntime {
   std::uint64_t* m_commits_;
   std::uint64_t* m_aborts_;
   std::uint64_t* m_lock_waits_;
+  std::uint64_t* m_participant_failures_;
   sim::Histogram* m_commit_latency_;
 };
 

@@ -27,6 +27,7 @@ DsmClientPartition::DsmClientPartition(ra::Node& node, DsmServer* local_server,
 void DsmClientPartition::loseVolatileState() {
   frames_.clear();
   inflight_.clear();
+  pinned_.clear();
 }
 
 // ---------------------------------------------------------------- fault path
@@ -143,6 +144,9 @@ void DsmClientPartition::maybeEvict(sim::Process& self) {
     auto victim = frames_.end();
     for (auto it = frames_.begin(); it != frames_.end(); ++it) {
       if (inflight_.count(it->first) != 0) continue;
+      // A pinned dirty frame holds uncommitted transaction bytes; evicting
+      // it would publish them to the store outside 2PC.
+      if (it->second.dirty && pinned_.count(it->first.segment) != 0) continue;
       if (victim == frames_.end() || it->second.lru < victim->second.lru) victim = it;
     }
     if (victim == frames_.end()) return;  // everything pinned by faults
@@ -164,12 +168,20 @@ void DsmClientPartition::maybeEvict(sim::Process& self) {
 // ---------------------------------------------------------------- callbacks
 
 Bytes DsmClientPartition::onInvalidate(const ra::PageKey& key, std::uint64_t version,
-                                       bool* was_dirty) {
-  ++*m_invalidated_;
+                                       bool* was_dirty, bool* busy) {
   Frame& f = frames_[key];
+  *was_dirty = f.state == FState::exclusive && f.dirty;
+  *busy = *was_dirty && pinned_.count(key.segment) != 0;
+  if (*busy) {
+    // Uncommitted bytes of an open transaction: refuse to surrender them.
+    // The frame (and the grant version we would have recorded) is untouched
+    // so the server's retry after commit/abort sees a clean resolution.
+    *was_dirty = false;
+    return {};
+  }
+  ++*m_invalidated_;
   f.max_seen = std::max(f.max_seen, version);
   Bytes data;
-  *was_dirty = f.state == FState::exclusive && f.dirty;
   if (*was_dirty) data = std::move(f.data);
   f.state = FState::invalid;
   f.dirty = false;
@@ -178,16 +190,29 @@ Bytes DsmClientPartition::onInvalidate(const ra::PageKey& key, std::uint64_t ver
 }
 
 Bytes DsmClientPartition::onDegrade(const ra::PageKey& key, std::uint64_t version,
-                                    bool* was_dirty) {
-  ++*m_degraded_;
+                                    bool* was_dirty, bool* busy) {
   Frame& f = frames_[key];
+  *was_dirty = f.state == FState::exclusive && f.dirty;
+  *busy = *was_dirty && pinned_.count(key.segment) != 0;
+  if (*busy) {
+    *was_dirty = false;
+    return {};
+  }
+  ++*m_degraded_;
   f.max_seen = std::max(f.max_seen, version);
   Bytes data;
-  *was_dirty = f.state == FState::exclusive && f.dirty;
   if (*was_dirty) data = f.data;  // keep the (now shared, clean) copy
   if (f.state == FState::exclusive) f.state = FState::shared;
   f.dirty = false;
   return data;
+}
+
+void DsmClientPartition::pinSegment(const Sysname& segment) { ++pinned_[segment]; }
+
+void DsmClientPartition::unpinSegment(const Sysname& segment) {
+  auto it = pinned_.find(segment);
+  if (it == pinned_.end()) return;
+  if (--it->second <= 0) pinned_.erase(it);
 }
 
 void DsmClientPartition::bindCallbackService() {
@@ -217,8 +242,14 @@ void DsmClientPartition::bindCallbackService() {
           return std::move(reply).take();
         }
         bool dirty = false;
-        Bytes data = code == Op::invalidate ? onInvalidate(key.value(), version.value(), &dirty)
-                                            : onDegrade(key.value(), version.value(), &dirty);
+        bool busy = false;
+        Bytes data = code == Op::invalidate
+                         ? onInvalidate(key.value(), version.value(), &dirty, &busy)
+                         : onDegrade(key.value(), version.value(), &dirty, &busy);
+        if (busy) {
+          encodeStatus(reply, Errc::busy);
+          return std::move(reply).take();
+        }
         encodeStatus(reply, Errc::ok);
         reply.boolean(dirty);
         if (dirty) reply.bytes(data);

@@ -55,12 +55,22 @@ class DsmClientPartition : public ra::Partition {
   std::vector<store::PageUpdate> collectDirtyPages(const Sysname& segment) const;
   // Mark the segment's frames clean (after a successful commit).
   void markSegmentClean(const Sysname& segment);
+  // Transaction isolation: while a segment is pinned (write-locked by an
+  // open cp scope) its dirty frames refuse to surrender uncommitted data to
+  // coherence callbacks (the server retries) and are skipped by eviction.
+  // Without the pin, a concurrent lock-free read (e.g. an invocation's
+  // demand-paging probe) can force a degrade write-back that publishes
+  // to-be-aborted bytes as committed store state.
+  void pinSegment(const Sysname& segment);
+  void unpinSegment(const Sysname& segment);
 
   // ---- Server -> client coherence callbacks ----
   // Returns the frame's dirty data when it had any (the server folds it
-  // into the store).
-  Bytes onInvalidate(const ra::PageKey& key, std::uint64_t version, bool* was_dirty);
-  Bytes onDegrade(const ra::PageKey& key, std::uint64_t version, bool* was_dirty);
+  // into the store). Sets `*busy` instead when the frame is pinned by an
+  // open transaction — nothing is surrendered and the server must retry.
+  Bytes onInvalidate(const ra::PageKey& key, std::uint64_t version, bool* was_dirty,
+                     bool* busy);
+  Bytes onDegrade(const ra::PageKey& key, std::uint64_t version, bool* was_dirty, bool* busy);
 
   // Node-crash hook: every frame is lost.
   void loseVolatileState();
@@ -97,6 +107,7 @@ class DsmClientPartition : public ra::Partition {
   std::size_t capacity_;
   std::map<ra::PageKey, Frame> frames_;
   std::map<ra::PageKey, Inflight> inflight_;
+  std::map<Sysname, int> pinned_;  // open-scope write pins (refcounted)
   std::uint64_t lru_clock_ = 0;
   std::uint64_t faults_ = 0;
   std::uint64_t hits_ = 0;

@@ -22,10 +22,26 @@ DsmServer::DsmServer(ra::Node& node, store::DiskStore& store) : node_(node), sto
   m_tx_prepares_ = &metrics.counter(node_.name() + "/dsm/tx_prepares");
   m_tx_commits_ = &metrics.counter(node_.name() + "/dsm/tx_commits");
   m_tx_aborts_ = &metrics.counter(node_.name() + "/dsm/tx_aborts");
+  m_client_cleanups_ = &metrics.counter(node_.name() + "/dsm/client_crash_cleanups");
+  m_locks_reclaimed_ = &metrics.counter(node_.name() + "/dsm/locks_reclaimed");
+  m_wb_adoptions_ = &metrics.counter(node_.name() + "/dsm/writeback_adoptions");
+  m_indoubt_ = &metrics.counter(node_.name() + "/dsm/indoubt_at_reboot");
   bindServices();
   node_.onCrashHook([this] {
     loseVolatileState();
     store_.loseVolatileState();
+  });
+  node_.onRestartHook([this] {
+    // In-doubt prepared transactions survive in the durable log. Deciding
+    // them here (presumed abort) could discard a committed transaction whose
+    // decision is still being retransmitted, so we only surface them: the
+    // coordinator's retried tx_commit/tx_abort resolves each one.
+    for (std::uint64_t txid : store_.preparedTxids()) {
+      ++*m_indoubt_;
+      node_.simulation().trace(node_.name(), "dsm",
+                               "in-doubt prepared txn " + std::to_string(txid & 0xffffffff) +
+                                   " awaiting coordinator decision");
+    }
   });
 }
 
@@ -33,6 +49,54 @@ void DsmServer::loseVolatileState() {
   directory_.clear();
   locks_.clear();
   semaphores_.clear();
+}
+
+void DsmServer::onClientCrash(net::NodeId client) {
+  ++*m_client_cleanups_;
+  node_.simulation().trace(node_.name(), "dsm",
+                           "client " + std::to_string(client) + " crashed: purging its state");
+  for (auto& [key, e] : directory_) {
+    if (e.state == PState::exclusive && e.owner == client) {
+      // The crashed owner's dirty frame died with it; the durable image is
+      // now the authoritative copy.
+      e.state = PState::uncached;
+      e.owner = net::kNoNode;
+      e.copyset.clear();
+      ++e.version;
+    } else if (e.copyset.erase(client) > 0 && e.copyset.empty() &&
+               e.state == PState::shared) {
+      e.state = PState::uncached;
+    }
+  }
+  std::uint64_t reclaimed = 0;
+  for (auto& [seg, l] : locks_) {
+    bool changed = false;
+    if (l.writer != 0 && (l.writer >> 32) == client) {
+      l.writer = 0;
+      changed = true;
+      ++reclaimed;
+    }
+    for (auto it = l.readers.begin(); it != l.readers.end();) {
+      if ((*it >> 32) == client) {
+        it = l.readers.erase(it);
+        changed = true;
+        ++reclaimed;
+      } else {
+        ++it;
+      }
+    }
+    if (l.upgrade_waiter != 0 && (l.upgrade_waiter >> 32) == client) l.upgrade_waiter = 0;
+    for (auto it = l.granted_at.begin(); it != l.granted_at.end();) {
+      it = (it->first >> 32) == client ? l.granted_at.erase(it) : std::next(it);
+    }
+    if (changed) l.queue.notifyAll();
+  }
+  *m_locks_reclaimed_ += reclaimed;
+  if (reclaimed > 0) {
+    node_.simulation().trace(node_.name(), "lock",
+                             "reclaimed " + std::to_string(reclaimed) + " locks of client " +
+                                 std::to_string(client));
+  }
 }
 
 // ---------------------------------------------------------------- coherence
@@ -44,8 +108,12 @@ Result<Bytes> DsmServer::callback(sim::Process& self, net::NodeId holder, Op op,
   if (holder == node_.id() && local_client_ != nullptr) {
     node_.cpu().compute(self, node_.cost().syscall);
     bool dirty = false;
-    Bytes data = op == Op::invalidate ? local_client_->onInvalidate(key, version, &dirty)
-                                      : local_client_->onDegrade(key, version, &dirty);
+    bool busy = false;
+    Bytes data = op == Op::invalidate ? local_client_->onInvalidate(key, version, &dirty, &busy)
+                                      : local_client_->onDegrade(key, version, &dirty, &busy);
+    if (busy) {
+      return makeError(Errc::busy, "frame " + key.toString() + " pinned by an open transaction");
+    }
     return data;
   }
   Encoder e;
@@ -87,49 +155,97 @@ Result<PageGrant> DsmServer::handleRead(sim::Process& self, net::NodeId client,
                                         const ra::PageKey& key) {
   ++*m_page_reads_;
   DirEntry& e = directory_[key];
-  sim::SimLockGuard guard(e.mu, self);
-  node_.cpu().compute(self, node_.cost().dsm_server_lookup);
-  const std::uint64_t v = ++e.version;
-  if (e.state == PState::exclusive) {
-    if (e.owner == client) {
-      // The owner lost its frame (eviction or abort-drop): directory heals.
-      e.state = PState::uncached;
-      e.owner = net::kNoNode;
-      e.copyset.clear();
-    } else {
-      CLOUDS_TRY_ASSIGN(dirty, callback(self, e.owner, Op::degrade, key, v));
-      if (!dirty.empty()) CLOUDS_TRY(store_.writePage(self, key, dirty));
-      e.copyset = {e.owner};
-      e.owner = net::kNoNode;
-      e.state = PState::shared;
+  // A holder may answer `busy`: its dirty copy is pinned by an open
+  // transaction and surrendering it would publish uncommitted bytes. Retry
+  // with the directory entry unlocked — the pin is released by the very
+  // commit/abort path that needs this entry's mutex. A holder still busy
+  // after the full patience is treated like a dead one (copy lost).
+  for (int attempt = 0;; ++attempt) {
+    {
+      sim::SimLockGuard guard(e.mu, self);
+      node_.cpu().compute(self, node_.cost().dsm_server_lookup);
+      const std::uint64_t v = ++e.version;
+      bool deferred = false;
+      if (e.state == PState::exclusive) {
+        if (e.owner == client) {
+          // The owner lost its frame (eviction or abort-drop): directory heals.
+          e.state = PState::uncached;
+          e.owner = net::kNoNode;
+          e.copyset.clear();
+        } else {
+          auto dirty = callback(self, e.owner, Op::degrade, key, v);
+          if (!dirty.ok() && dirty.error().code == Errc::busy) {
+            if (attempt < node_.cost().dsm_callback_retries) {
+              deferred = true;
+            } else {
+              node_.simulation().trace(node_.name(), "dsm",
+                                       "holder of " + key.toString() +
+                                           " busy past patience: copy lost");
+              dirty = Bytes{};
+            }
+          }
+          if (!deferred) {
+            CLOUDS_TRY_ASSIGN(data, std::move(dirty));
+            if (!data.empty()) CLOUDS_TRY(store_.writePage(self, key, data));
+            e.copyset = {e.owner};
+            e.owner = net::kNoNode;
+            e.state = PState::shared;
+          }
+        }
+      }
+      if (!deferred) {
+        e.copyset.insert(client);
+        e.state = PState::shared;
+        return loadGrant(self, key, v);
+      }
     }
+    self.delay(node_.cost().ratp_retransmit_timeout);
   }
-  e.copyset.insert(client);
-  e.state = PState::shared;
-  return loadGrant(self, key, v);
 }
 
 Result<PageGrant> DsmServer::handleWrite(sim::Process& self, net::NodeId client,
                                          const ra::PageKey& key) {
   ++*m_page_writes_;
   DirEntry& e = directory_[key];
-  sim::SimLockGuard guard(e.mu, self);
-  node_.cpu().compute(self, node_.cost().dsm_server_lookup);
-  const std::uint64_t v = ++e.version;
-  if (e.state == PState::exclusive && e.owner != client) {
-    CLOUDS_TRY_ASSIGN(dirty, callback(self, e.owner, Op::invalidate, key, v));
-    if (!dirty.empty()) CLOUDS_TRY(store_.writePage(self, key, dirty));
-  } else if (e.state == PState::shared) {
-    for (net::NodeId holder : e.copyset) {
-      if (holder == client) continue;
-      CLOUDS_TRY_ASSIGN(dirty, callback(self, holder, Op::invalidate, key, v));
-      if (!dirty.empty()) CLOUDS_TRY(store_.writePage(self, key, dirty));
+  for (int attempt = 0;; ++attempt) {
+    {
+      sim::SimLockGuard guard(e.mu, self);
+      node_.cpu().compute(self, node_.cost().dsm_server_lookup);
+      const std::uint64_t v = ++e.version;
+      bool deferred = false;
+      if (e.state == PState::exclusive && e.owner != client) {
+        auto dirty = callback(self, e.owner, Op::invalidate, key, v);
+        if (!dirty.ok() && dirty.error().code == Errc::busy) {
+          if (attempt < node_.cost().dsm_callback_retries) {
+            deferred = true;
+          } else {
+            node_.simulation().trace(node_.name(), "dsm",
+                                     "holder of " + key.toString() +
+                                         " busy past patience: copy lost");
+            dirty = Bytes{};
+          }
+        }
+        if (!deferred) {
+          CLOUDS_TRY_ASSIGN(data, std::move(dirty));
+          if (!data.empty()) CLOUDS_TRY(store_.writePage(self, key, data));
+        }
+      } else if (e.state == PState::shared) {
+        for (net::NodeId holder : e.copyset) {
+          if (holder == client) continue;
+          // Shared copies are never dirty, so these can't come back busy.
+          CLOUDS_TRY_ASSIGN(dirty, callback(self, holder, Op::invalidate, key, v));
+          if (!dirty.empty()) CLOUDS_TRY(store_.writePage(self, key, dirty));
+        }
+      }
+      if (!deferred) {
+        e.copyset.clear();
+        e.state = PState::exclusive;
+        e.owner = client;
+        return loadGrant(self, key, v);
+      }
     }
+    self.delay(node_.cost().ratp_retransmit_timeout);
   }
-  e.copyset.clear();
-  e.state = PState::exclusive;
-  e.owner = client;
-  return loadGrant(self, key, v);
 }
 
 Result<void> DsmServer::handleWriteBack(sim::Process& self, net::NodeId client,
@@ -139,6 +255,23 @@ Result<void> DsmServer::handleWriteBack(sim::Process& self, net::NodeId client,
   sim::SimLockGuard guard(e.mu, self);
   node_.cpu().compute(self, node_.cost().dsm_server_lookup);
   if (e.state != PState::exclusive || e.owner != client) {
+    if (e.state == PState::uncached && e.version == 0) {
+      // Fresh directory entry: this server rebooted while the client still
+      // held the page exclusive, and the write-back outlived the crash.
+      // Adopt it. Safe gate: every pre-crash grant left version >= 1, so a
+      // stale in-flight write-back racing a commit's invalidation can never
+      // match here.
+      ++*m_wb_adoptions_;
+      ++e.version;
+      if (!store_.writePage(self, key, data).ok()) {
+        return okResult();  // e.g. segment destroyed meanwhile: copy is moot
+      }
+      if (!drop) {
+        e.state = PState::shared;
+        e.copyset = {client};
+      }
+      return okResult();
+    }
     // Stale write-back racing a callback that already collected this data.
     return okResult();
   }

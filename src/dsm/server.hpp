@@ -72,6 +72,12 @@ class DsmServer {
   // store's images and prepared log survive (store handles its own split).
   void loseVolatileState();
 
+  // A compute client crashed: its page copies and exclusive ownership are
+  // gone (the directory re-derives ownership from the surviving clients),
+  // and every lock held by one of its owner tokens (token >> 32 == client)
+  // is reclaimed so waiters need not sit out the full lease TTL.
+  void onClientCrash(net::NodeId client);
+
   std::uint64_t invalidationsSent() const noexcept { return invalidations_; }
   std::uint64_t degradesSent() const noexcept { return degrades_; }
 
@@ -138,6 +144,10 @@ class DsmServer {
   std::uint64_t* m_tx_prepares_;
   std::uint64_t* m_tx_commits_;
   std::uint64_t* m_tx_aborts_;
+  std::uint64_t* m_client_cleanups_;
+  std::uint64_t* m_locks_reclaimed_;
+  std::uint64_t* m_wb_adoptions_;
+  std::uint64_t* m_indoubt_;
 };
 
 }  // namespace clouds::dsm

@@ -11,6 +11,9 @@ Nic::Nic(Ethernet& ether, NodeId addr, sim::CpuResource& cpu, std::string name)
   sim::MetricsRegistry& metrics = ether_.simulation().metrics();
   m_sent_ = &metrics.counter(name_ + "/eth/frames_sent");
   m_received_ = &metrics.counter(name_ + "/eth/frames_received");
+  m_lost_ = &metrics.counter(name_ + "/eth/frames_lost");
+  m_crashes_ = &metrics.counter(name_ + "/eth/crashes");
+  m_restarts_ = &metrics.counter(name_ + "/eth/restarts");
   spawnRxProcess();
 }
 
@@ -22,7 +25,11 @@ void Nic::spawnRxProcess() {
       while (rx_queue_.empty()) self.block();
       Frame frame = std::move(rx_queue_.front());
       rx_queue_.pop_front();
-      if (!up_) continue;  // interface went down with frames queued
+      if (!up_) {  // interface went down with frames queued
+        ++lost_;
+        ++*m_lost_;
+        continue;
+      }
       cpu_.compute(self, ether_.cost().eth_cpu_recv);
       ++received_;
       ++*m_received_;
@@ -39,7 +46,12 @@ void Nic::spawnRxProcess() {
 
 void Nic::crash() {
   up_ = false;
+  // Queued-but-undelivered frames die with the node.
+  lost_ += rx_queue_.size();
+  *m_lost_ += rx_queue_.size();
   rx_queue_.clear();
+  drop_next_rx_ = 0;  // scripted fault state is volatile, not configuration
+  ++*m_crashes_;
   if (rx_process_ != nullptr) rx_process_->kill();
   rx_process_ = nullptr;
 }
@@ -47,6 +59,8 @@ void Nic::crash() {
 void Nic::restart() {
   if (rx_process_ != nullptr) return;  // not crashed
   up_ = true;
+  drop_next_rx_ = 0;
+  ++*m_restarts_;
   spawnRxProcess();
 }
 
@@ -55,7 +69,11 @@ void Nic::send(sim::Process& self, Frame frame) {
     throw std::logic_error("Nic::send: frame exceeds MTU (" +
                            std::to_string(frame.payload.size()) + " bytes)");
   }
-  if (!up_) return;  // transmissions from a dead node vanish
+  if (!up_) {  // transmissions from a dead node vanish
+    ++lost_;
+    ++*m_lost_;
+    return;
+  }
   frame.src = addr_;
   cpu_.compute(self, ether_.cost().eth_cpu_send);
   ++sent_;
@@ -68,7 +86,17 @@ void Nic::setHandler(ProtocolId protocol, Handler handler) {
 }
 
 void Nic::enqueueReceived(Frame frame) {
-  if (!up_) return;
+  if (!up_) {  // arrived while the interface was down
+    ++lost_;
+    ++*m_lost_;
+    return;
+  }
+  if (drop_next_rx_ > 0) {  // scripted receive-side loss
+    --drop_next_rx_;
+    ++lost_;
+    ++*m_lost_;
+    return;
+  }
   rx_queue_.push_back(std::move(frame));
   rx_process_->wake();
 }
@@ -80,6 +108,7 @@ Ethernet::Ethernet(sim::Simulation& sim, const sim::CostModel& cost) : sim_(sim)
   m_on_wire_ = &metrics.counter("net/eth/frames_on_wire");
   m_dropped_ = &metrics.counter("net/eth/frames_dropped");
   m_dup_ = &metrics.counter("net/eth/frames_dup");
+  m_blocked_ = &metrics.counter("net/eth/frames_blocked");
   m_bytes_ = &metrics.counter("net/eth/bytes_on_wire");
   m_busy_usec_ = &metrics.counter("net/eth/busy_usec");
 }
@@ -125,6 +154,15 @@ void Ethernet::transmit(const Frame& frame) {
     ++*m_dropped_;
     return;
   }
+  if (partitioned(frame.src, frame.dst)) {
+    // A partitioned frame occupies wire time on the sender's segment but
+    // never crosses the cut; it counts as dropped *and* blocked.
+    ++dropped_;
+    ++*m_dropped_;
+    ++blocked_frames_;
+    ++*m_blocked_;
+    return;
+  }
   if (duplicate) {
     ++duplicated_;
     ++*m_dup_;
@@ -134,6 +172,41 @@ void Ethernet::transmit(const Frame& frame) {
   for (int i = 0; i < copies; ++i) {
     sim_.schedule(arrival - sim_.now(), [this, frame] { deliver(frame); });
   }
+}
+
+namespace {
+std::uint64_t pairKey(NodeId a, NodeId b) noexcept {
+  const NodeId lo = a < b ? a : b;
+  const NodeId hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+}  // namespace
+
+void Ethernet::partition(NodeId a, NodeId b) {
+  if (a == b) return;
+  blocked_pairs_.insert(pairKey(a, b));
+}
+
+void Ethernet::heal(NodeId a, NodeId b) { blocked_pairs_.erase(pairKey(a, b)); }
+
+void Ethernet::partitionGroups(const std::vector<NodeId>& group_a,
+                               const std::vector<NodeId>& group_b) {
+  for (NodeId a : group_a) {
+    for (NodeId b : group_b) partition(a, b);
+  }
+}
+
+void Ethernet::healGroups(const std::vector<NodeId>& group_a, const std::vector<NodeId>& group_b) {
+  for (NodeId a : group_a) {
+    for (NodeId b : group_b) heal(a, b);
+  }
+}
+
+void Ethernet::healAll() { blocked_pairs_.clear(); }
+
+bool Ethernet::partitioned(NodeId a, NodeId b) const noexcept {
+  if (a == b) return false;
+  return blocked_pairs_.count(pairKey(a, b)) != 0;
 }
 
 void Ethernet::deliver(const Frame& frame) {

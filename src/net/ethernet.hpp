@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -75,13 +76,24 @@ class Nic {
   bool up() const noexcept { return up_; }
 
   // Node-crash path: interface down, queued frames lost, receive process
-  // killed. restart() re-creates the receive process and brings the
-  // interface back up (protocol handlers persist: they are configuration).
+  // killed, scripted per-NIC fault state reset. restart() re-creates the
+  // receive process and brings the interface back up (protocol handlers
+  // persist: they are configuration).
   void crash();
   void restart();
 
+  // Scripted fault injection: silently discard the next n frames that
+  // arrive at this interface (targeted receive-side loss). Reset by
+  // crash()/restart() — fault state is volatile, not configuration.
+  void dropNextRx(int n) noexcept { drop_next_rx_ += n; }
+
   std::uint64_t framesSent() const noexcept { return sent_; }
   std::uint64_t framesReceived() const noexcept { return received_; }
+  // Frames that reached this interface but were never delivered to a
+  // handler: arrived or queued while down, cleared at crash, sent while
+  // down, or eaten by dropNextRx. Medium-level drops are *not* included —
+  // chaos tests cross-check the two accountings.
+  std::uint64_t framesLost() const noexcept { return lost_; }
 
  private:
   friend class Ethernet;
@@ -98,11 +110,16 @@ class Nic {
   std::map<ProtocolId, Handler> handlers_;
   std::deque<Frame> rx_queue_;
   sim::Process* rx_process_ = nullptr;
+  int drop_next_rx_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
+  std::uint64_t lost_ = 0;
   // Per-interface metrics ("<name>/eth/..."), resolved once at construction.
   std::uint64_t* m_sent_;
   std::uint64_t* m_received_;
+  std::uint64_t* m_lost_;
+  std::uint64_t* m_crashes_;
+  std::uint64_t* m_restarts_;
 };
 
 class Ethernet {
@@ -123,9 +140,20 @@ class Ethernet {
   // Drop the next n frames outright (scripted, for targeted tests).
   void dropNextFrames(int n) noexcept { scripted_drops_ += n; }
 
+  // Network partitions: frames between partitioned pairs occupy wire time
+  // (the sender cannot know) but are never delivered, like a cut between
+  // two Ethernet segments. Symmetric; healAll() reconnects everything.
+  void partition(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+  void partitionGroups(const std::vector<NodeId>& group_a, const std::vector<NodeId>& group_b);
+  void healGroups(const std::vector<NodeId>& group_a, const std::vector<NodeId>& group_b);
+  void healAll();
+  bool partitioned(NodeId a, NodeId b) const noexcept;
+
   std::uint64_t framesOnWire() const noexcept { return on_wire_; }
   std::uint64_t framesDropped() const noexcept { return dropped_; }
   std::uint64_t framesDuplicated() const noexcept { return duplicated_; }
+  std::uint64_t framesBlocked() const noexcept { return blocked_frames_; }
   std::uint64_t bytesOnWire() const noexcept { return bytes_; }
 
  private:
@@ -140,14 +168,17 @@ class Ethernet {
   double drop_rate_ = 0.0;
   double dup_rate_ = 0.0;
   int scripted_drops_ = 0;
+  std::set<std::uint64_t> blocked_pairs_;  // normalized (min, max) address pairs
   std::uint64_t on_wire_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
+  std::uint64_t blocked_frames_ = 0;
   std::uint64_t bytes_ = 0;
   // Medium-wide metrics ("net/eth/..."), resolved once at construction.
   std::uint64_t* m_on_wire_;
   std::uint64_t* m_dropped_;
   std::uint64_t* m_dup_;
+  std::uint64_t* m_blocked_;
   std::uint64_t* m_bytes_;
   std::uint64_t* m_busy_usec_;
 };

@@ -19,9 +19,11 @@ RatpEndpoint::RatpEndpoint(Nic& nic, std::string name) : nic_(nic), name_(std::m
   m_started_ = &metrics.counter(name_ + "/ratp/transactions");
   m_completed_ = &metrics.counter(name_ + "/ratp/completed");
   m_timeouts_ = &metrics.counter(name_ + "/ratp/timeouts");
+  m_aborted_ = &metrics.counter(name_ + "/ratp/aborted");
   m_retransmits_ = &metrics.counter(name_ + "/ratp/retransmits");
   m_cache_hits_ = &metrics.counter(name_ + "/ratp/reply_cache_hits");
   m_frags_ = &metrics.counter(name_ + "/ratp/fragments_sent");
+  m_peer_deaths_ = &metrics.counter(name_ + "/ratp/peer_deaths");
   m_latency_ = &metrics.histogram(name_ + "/ratp/txn_latency_usec");
   nic_.setHandler(kProtoRatp,
                   [this](sim::Process& self, const Frame& frame) { onFrame(self, frame); });
@@ -31,8 +33,21 @@ void RatpEndpoint::bindService(PortId port, Handler handler) {
   services_[port] = std::move(handler);
 }
 
+void RatpEndpoint::abortPending(const std::string& reason) {
+  for (auto& [txid, tx] : pending_) {
+    if (tx.complete || tx.aborted) continue;
+    tx.aborted = true;
+    simulation().trace(name_, "ratp", "abort tx " + std::to_string(txid & 0xffffffff) +
+                                          ": " + reason);
+    if (tx.waiter != nullptr) tx.waiter->wake();
+  }
+}
+
 void RatpEndpoint::onCrash() {
-  pending_.clear();
+  // Do NOT clear pending_: waiters hold references into it. Killed waiters
+  // unwind (their Eraser removes the entry); any survivor sees the aborted
+  // flag and returns Errc::aborted instead of dereferencing freed state.
+  abortPending("endpoint crash");
   server_txs_.clear();
   expiry_fifo_.clear();
   work_queue_.clear();
@@ -63,7 +78,7 @@ Result<Bytes> RatpEndpoint::transact(sim::Process& self, NodeId dst, PortId port
     ~Eraser() { map.erase(key); }
   } eraser{pending_, txid};
 
-  for (int attempt = 0; attempt <= retries; ++attempt) {
+  for (int attempt = 0; attempt <= retries && !tx.aborted; ++attempt) {
     if (attempt > 0) {
       ++stats_.retransmissions;
       ++*m_retransmits_;
@@ -72,7 +87,7 @@ Result<Bytes> RatpEndpoint::transact(sim::Process& self, NodeId dst, PortId port
     }
     sendMessage(self, dst, PacketType::request, txid, port, request);
     const sim::TimePoint deadline = simulation().now() + timeout;
-    while (!tx.complete && simulation().now() < deadline) {
+    while (!tx.complete && !tx.aborted && simulation().now() < deadline) {
       (void)self.blockFor(deadline - simulation().now());
     }
     if (tx.complete) {
@@ -82,6 +97,19 @@ Result<Bytes> RatpEndpoint::transact(sim::Process& self, NodeId dst, PortId port
       return std::move(tx.reply);
     }
   }
+  if (tx.aborted) {
+    ++stats_.transactions_aborted;
+    ++*m_aborted_;
+    return makeError(Errc::aborted, name_ + ": transaction to node " + std::to_string(dst) +
+                                        " port " + std::to_string(port) + " aborted");
+  }
+  // Full retry budget spent with no reply: declare the peer dead so upper
+  // layers (2PC, DSM, PET) can start recovery instead of waiting forever.
+  ++stats_.peer_deaths;
+  ++*m_peer_deaths_;
+  simulation().trace(name_, "ratp", "peer " + std::to_string(dst) + " declared dead (tx " +
+                                        std::to_string(txid & 0xffffffff) + ")");
+  if (peer_death_) peer_death_(dst, port);
   ++stats_.transactions_timed_out;
   ++*m_timeouts_;
   return makeError(Errc::timeout, name_ + ": transaction to node " + std::to_string(dst) +

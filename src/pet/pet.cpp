@@ -241,7 +241,10 @@ Result<ResilientResult> PetManager::runResilient(const ReplicatedObject& object,
       // Every candidate after a failed commit attempt is a replica failover
       // ("if there is a failure in committing this thread, another completed
       // thread is chosen").
-      if (commit_attempted) ++*m_failovers_;
+      if (commit_attempted) {
+        ++*m_failovers_;
+        ++rr.failovers;
+      }
       commit_attempted = true;
       VersionVector working = vv.value();
       const int written = propagate(self, coordinator_rt, object, p.replica, working);
@@ -260,6 +263,21 @@ Result<ResilientResult> PetManager::runResilient(const ReplicatedObject& object,
     } else {
       out = makeError(Errc::no_quorum, "completed threads could not reach a write quorum");
     }
+  });
+  cluster_.run();
+  return out;
+}
+
+Result<std::vector<std::uint64_t>> PetManager::replicaVersions(const ReplicatedObject& object) {
+  Result<std::vector<std::uint64_t>> out = makeError(Errc::internal, "version read never ran");
+  obj::Runtime& rt = cluster_.runtime(0);
+  rt.spawnThread("pet-versions", [&, this](obj::CloudsThread& t) {
+    auto vv = readVersions(*t.process, rt, object);
+    if (!vv.ok()) {
+      out = vv.error();
+      return;
+    }
+    out = vv.value().versions;
   });
   cluster_.run();
   return out;

@@ -44,6 +44,7 @@ struct ResilientResult {
   int threads_completed = 0;               // finished the computation
   int replicas_written = 0;                // quorum propagation fan-out
   int terminating_thread = -1;             // index of the chosen thread
+  int failovers = 0;                       // commit candidates tried after a failure
 };
 
 class PetManager {
@@ -73,6 +74,10 @@ class PetManager {
   // replica (by version vector).
   Result<obj::Value> readFreshest(const ReplicatedObject& object, const std::string& entry,
                                   obj::ValueList args);
+
+  // Test/observability helper: the object's current per-replica version
+  // vector. Synchronous: drives the simulation.
+  Result<std::vector<std::uint64_t>> replicaVersions(const ReplicatedObject& object);
 
  private:
   struct VersionVector {

@@ -15,6 +15,8 @@ Node::Node(sim::Simulation& sim, const sim::CostModel& cost, net::Ethernet& ethe
       nic_(ether.attach(id, cpu_, name_)),
       ratp_(nic_, name_) {
   cpu_.attachMetrics(sim_.metrics(), name_);
+  m_fault_crashes_ = &sim_.metrics().counter(name_ + "/fault/crashes");
+  m_fault_reboots_ = &sim_.metrics().counter(name_ + "/fault/reboots");
 }
 
 sim::Process& Node::spawnIsiBa(const std::string& name, std::function<void(sim::Process&)> body) {
@@ -38,6 +40,7 @@ Result<Partition*> Node::partitionFor(const Sysname& segment) {
 void Node::crash() {
   if (!alive_) return;
   alive_ = false;
+  ++*m_fault_crashes_;
   sim_.trace(name_, "node", "CRASH");
   nic_.crash();
   ratp_.onCrash();
@@ -49,8 +52,10 @@ void Node::crash() {
 void Node::restart() {
   if (alive_) return;
   alive_ = true;
+  ++*m_fault_reboots_;
   sim_.trace(name_, "node", "RESTART");
   nic_.restart();
+  for (auto& hook : restart_hooks_) hook();
 }
 
 }  // namespace clouds::ra

@@ -73,6 +73,9 @@ class Node {
 
   // Subsystems register cleanup for volatile state lost on crash.
   void onCrashHook(std::function<void()> hook) { crash_hooks_.push_back(std::move(hook)); }
+  // Subsystems register recovery work run after the node comes back up
+  // (e.g. a data server scanning its durable 2PC log for in-doubt entries).
+  void onRestartHook(std::function<void()> hook) { restart_hooks_.push_back(std::move(hook)); }
 
  private:
   sim::Simulation& sim_;
@@ -87,6 +90,10 @@ class Node {
   std::vector<std::unique_ptr<Partition>> partitions_;
   std::vector<sim::Process*> isibas_;
   std::vector<std::function<void()>> crash_hooks_;
+  std::vector<std::function<void()>> restart_hooks_;
+  // Lifecycle fault metrics ("<name>/fault/..."), resolved at construction.
+  std::uint64_t* m_fault_crashes_;
+  std::uint64_t* m_fault_reboots_;
 };
 
 }  // namespace clouds::ra

@@ -86,6 +86,12 @@ struct CostModel {
 
   // ---- Storage / commit ----
   Duration commit_log_write = msec(3);  // force a prepare/commit record
+  // A commit decision must outlive a participant's crash+reboot window
+  // (chaos tests reboot after 500 ms): 24 * 40 ms ≈ 1 s of retransmits, so
+  // the retried decision lands on the rebooted server's durable prepared
+  // log. Cleanup aborts are best-effort (presumed abort covers the rest).
+  int txn_decision_retries = 24;
+  int txn_cleanup_retries = 2;
 
   // Wire time for n payload bytes in one frame.
   Duration ethTxTime(std::size_t payload_bytes) const {

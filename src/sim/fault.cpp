@@ -1,0 +1,252 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace clouds::sim {
+
+namespace {
+
+std::string groupToString(const std::vector<std::string>& g) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (i != 0) out += ",";
+    out += g[i];
+  }
+  out += "}";
+  return out;
+}
+
+std::string usecString(Duration d) {
+  return std::to_string(d.count() / 1000) + "us";
+}
+
+std::string rateString(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", rate);
+  return buf;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(Simulation& sim, std::uint64_t plan_seed) : sim_(sim), rng_(plan_seed) {
+  MetricsRegistry& metrics = sim_.metrics();
+  m_crashes_ = &metrics.counter("fault/plan/crashes");
+  m_reboots_ = &metrics.counter("fault/plan/reboots");
+  m_partitions_ = &metrics.counter("fault/plan/partitions");
+  m_heals_ = &metrics.counter("fault/plan/heals");
+  m_loss_windows_ = &metrics.counter("fault/plan/loss_windows");
+  m_disk_windows_ = &metrics.counter("fault/plan/disk_windows");
+}
+
+void FaultPlan::registerTarget(const std::string& name, FaultHooks hooks) {
+  targets_[name] = std::move(hooks);
+}
+
+void FaultPlan::setMediumHooks(MediumFaultHooks hooks) {
+  medium_ = std::move(hooks);
+  has_medium_ = true;
+}
+
+void FaultPlan::add(Duration at, Kind kind, std::string target,
+                    std::vector<std::string> group_a, std::vector<std::string> group_b,
+                    double rate) {
+  if (armed_) throw std::logic_error("FaultPlan: events cannot be added after arm()");
+  Event e;
+  e.at = at;
+  e.kind = kind;
+  e.target = std::move(target);
+  e.group_a = std::move(group_a);
+  e.group_b = std::move(group_b);
+  e.rate = rate;
+  e.seq = next_seq_++;
+  events_.push_back(std::move(e));
+}
+
+void FaultPlan::crashAt(const std::string& target, Duration at) {
+  add(at, Kind::crash, target);
+}
+
+void FaultPlan::crashAt(const std::string& target, Duration at, Duration reboot_after) {
+  add(at, Kind::crash, target);
+  add(at + reboot_after, Kind::reboot, target);
+}
+
+void FaultPlan::rebootAt(const std::string& target, Duration at) {
+  add(at, Kind::reboot, target);
+}
+
+void FaultPlan::partitionAt(std::vector<std::string> group_a, std::vector<std::string> group_b,
+                            Duration at, Duration heal_after) {
+  if (heal_after > kZero) {
+    add(at + heal_after, Kind::heal, "", group_a, group_b);
+  }
+  add(at, Kind::partition, "", std::move(group_a), std::move(group_b));
+}
+
+void FaultPlan::lossWindow(Duration at, Duration duration, double rate) {
+  add(at, Kind::loss_begin, "", {}, {}, rate);
+  add(at + duration, Kind::loss_end, "");
+}
+
+void FaultPlan::diskErrorWindow(const std::string& target, Duration at, Duration duration) {
+  add(at, Kind::disk_fail, target);
+  add(at + duration, Kind::disk_heal, target);
+}
+
+void FaultPlan::randomCrashes(const std::vector<std::string>& targets, int count,
+                              Duration window_begin, Duration window_end, Duration min_down,
+                              Duration max_down) {
+  if (targets.empty() || count <= 0 || window_end <= window_begin) return;
+  // A short mandatory gap between one reboot and the next crash of the same
+  // target keeps windows disjoint (overlapping crash/reboot pairs would be
+  // ambiguous to apply).
+  const Duration gap = msec(20);
+  std::map<std::string, Duration> busy_until;  // per-target earliest next crash
+  auto draw = [this](std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(rng_);
+  };
+  for (int i = 0; i < count; ++i) {
+    const std::string& target =
+        targets[static_cast<std::size_t>(draw(0, static_cast<std::int64_t>(targets.size()) - 1))];
+    const Duration earliest = std::max(window_begin, busy_until[target]);
+    if (earliest >= window_end) continue;  // no room left for this target
+    const Duration at = Duration(draw(earliest.count(), window_end.count() - 1));
+    const Duration down = Duration(draw(min_down.count(), max_down.count()));
+    crashAt(target, at, down);
+    busy_until[target] = at + down + gap;
+  }
+}
+
+std::vector<const FaultPlan::Event*> FaultPlan::ordered() const {
+  std::vector<const Event*> out;
+  out.reserve(events_.size());
+  for (const Event& e : events_) out.push_back(&e);
+  std::sort(out.begin(), out.end(), [](const Event* a, const Event* b) {
+    if (a->at != b->at) return a->at < b->at;
+    return a->seq < b->seq;
+  });
+  return out;
+}
+
+std::string FaultPlan::line(const Event& e) {
+  switch (e.kind) {
+    case Kind::crash:
+      return "@" + usecString(e.at) + " crash " + e.target;
+    case Kind::reboot:
+      return "@" + usecString(e.at) + " reboot " + e.target;
+    case Kind::partition:
+      return "@" + usecString(e.at) + " partition " + groupToString(e.group_a) + " | " +
+             groupToString(e.group_b);
+    case Kind::heal:
+      return "@" + usecString(e.at) + " heal " + groupToString(e.group_a) + " | " +
+             groupToString(e.group_b);
+    case Kind::loss_begin:
+      return "@" + usecString(e.at) + " loss " + rateString(e.rate) + " begin";
+    case Kind::loss_end:
+      return "@" + usecString(e.at) + " loss end";
+    case Kind::disk_fail:
+      return "@" + usecString(e.at) + " disk-fail " + e.target;
+    case Kind::disk_heal:
+      return "@" + usecString(e.at) + " disk-heal " + e.target;
+  }
+  return "@" + usecString(e.at) + " ?";
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  for (const Event* e : ordered()) {
+    out += line(*e);
+    out += "\n";
+  }
+  return out;
+}
+
+void FaultPlan::fire(const Event& e) {
+  sim_.trace("faultplan", "fault", line(e));
+  switch (e.kind) {
+    case Kind::crash:
+      ++*m_crashes_;
+      targets_.at(e.target).crash();
+      break;
+    case Kind::reboot:
+      ++*m_reboots_;
+      targets_.at(e.target).reboot();
+      break;
+    case Kind::partition:
+      ++*m_partitions_;
+      medium_.partition(e.group_a, e.group_b);
+      break;
+    case Kind::heal:
+      ++*m_heals_;
+      medium_.heal(e.group_a, e.group_b);
+      break;
+    case Kind::loss_begin:
+      ++*m_loss_windows_;
+      medium_.loss_rate(e.rate);
+      break;
+    case Kind::loss_end:
+      medium_.loss_rate(0.0);
+      break;
+    case Kind::disk_fail:
+      ++*m_disk_windows_;
+      targets_.at(e.target).disk_faulty(true);
+      break;
+    case Kind::disk_heal:
+      targets_.at(e.target).disk_faulty(false);
+      break;
+  }
+}
+
+void FaultPlan::arm() {
+  if (armed_) throw std::logic_error("FaultPlan: arm() called twice");
+  // Validate the whole script up front: a plan referencing an unwired target
+  // is a configuration bug, not a runtime fault to inject.
+  for (const Event& e : events_) {
+    switch (e.kind) {
+      case Kind::crash:
+      case Kind::reboot: {
+        auto it = targets_.find(e.target);
+        if (it == targets_.end()) {
+          throw std::logic_error("FaultPlan: unknown target '" + e.target + "'");
+        }
+        if (!it->second.crash || !it->second.reboot) {
+          throw std::logic_error("FaultPlan: target '" + e.target +
+                                 "' lacks crash/reboot hooks");
+        }
+        break;
+      }
+      case Kind::disk_fail:
+      case Kind::disk_heal: {
+        auto it = targets_.find(e.target);
+        if (it == targets_.end() || !it->second.disk_faulty) {
+          throw std::logic_error("FaultPlan: target '" + e.target + "' has no disk hook");
+        }
+        break;
+      }
+      case Kind::partition:
+      case Kind::heal:
+        if (!has_medium_ || !medium_.partition || !medium_.heal) {
+          throw std::logic_error("FaultPlan: partition event without medium hooks");
+        }
+        break;
+      case Kind::loss_begin:
+      case Kind::loss_end:
+        if (!has_medium_ || !medium_.loss_rate) {
+          throw std::logic_error("FaultPlan: loss window without medium loss hook");
+        }
+        break;
+    }
+  }
+  armed_ = true;
+  // Scheduling in firing order keeps equal-timestamp events in script order
+  // (the event queue breaks timestamp ties by insertion).
+  for (const Event* e : ordered()) {
+    sim_.schedule(e->at, [this, e] { fire(*e); });
+  }
+  sim_.trace("faultplan", "fault",
+             "armed " + std::to_string(events_.size()) + " events");
+}
+
+}  // namespace clouds::sim

@@ -1,0 +1,140 @@
+// Deterministic fault injection (paper §1, §5.2).
+//
+// Clouds' central claim is that objects, DSM and PET survive node and
+// network failures. Validating that needs more than ad-hoc crash() calls in
+// individual tests: a FaultPlan is a first-class schedule of fault events —
+// node crashes with reboots, pairwise/group network partitions with heal
+// times, transient link-loss windows, disk-op error windows — built either
+// from an explicit script or from the plan's own seeded random stream, and
+// then armed onto the simulation's event queue.
+//
+// Layering: sim is the bottom layer, so the plan never touches net/ra/dsm
+// types directly. Crashable targets register closures (FaultHooks) under a
+// name, and the shared medium registers MediumFaultHooks; the cluster /
+// testbed adapters wire those up. Determinism contract (docs/FAULTS.md):
+//  * Scripted events are a pure function of the calls made on the plan.
+//  * Random events draw only from the plan's own mt19937_64 (seeded
+//    independently of the simulation), so adding a fault schedule never
+//    perturbs the simulation's random stream — the same workload under two
+//    different plans stays comparable, and the same (seed, plan) pair is
+//    byte-identical run to run.
+// Every event is counted in the metrics registry ("fault/plan/..."; the
+// per-node "<node>/fault/*" counters are bumped by the node lifecycle
+// itself) and logged through the TraceSink under category "fault".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace clouds::sim {
+
+// Closures a crashable target (a node) registers under its name.
+struct FaultHooks {
+  std::function<void()> crash;              // wipe volatile state, kill processes
+  std::function<void()> reboot;             // restart after a crash
+  std::function<void(bool)> disk_faulty;    // optional: fail disk ops while true
+};
+
+// Closures for the shared network medium. Group arguments are target names;
+// the adapter resolves them to addresses.
+struct MediumFaultHooks {
+  std::function<void(const std::vector<std::string>&, const std::vector<std::string>&)> partition;
+  std::function<void(const std::vector<std::string>&, const std::vector<std::string>&)> heal;
+  std::function<void(double)> loss_rate;    // absolute frame-drop probability
+};
+
+class FaultPlan {
+ public:
+  // `plan_seed` feeds the plan's private random stream (random* builders
+  // only); it is deliberately distinct from the simulation seed.
+  explicit FaultPlan(Simulation& sim, std::uint64_t plan_seed = 0);
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // ---- Wiring ----
+  void registerTarget(const std::string& name, FaultHooks hooks);
+  void setMediumHooks(MediumFaultHooks hooks);
+  bool hasTarget(const std::string& name) const { return targets_.count(name) != 0; }
+
+  // ---- Scripted events (times are offsets from arm()) ----
+  void crashAt(const std::string& target, Duration at);
+  // Crash at `at`, reboot `reboot_after` later.
+  void crashAt(const std::string& target, Duration at, Duration reboot_after);
+  void rebootAt(const std::string& target, Duration at);
+  // Partition every pair (a, b) with a in group_a, b in group_b; heal the
+  // same pairs `heal_after` later (0 = never heals).
+  void partitionAt(std::vector<std::string> group_a, std::vector<std::string> group_b,
+                   Duration at, Duration heal_after);
+  // Random frame loss at `rate` during [at, at + duration), then back to 0.
+  void lossWindow(Duration at, Duration duration, double rate);
+  // The target's disk fails every operation during [at, at + duration).
+  void diskErrorWindow(const std::string& target, Duration at, Duration duration);
+
+  // ---- Seeded-random events (plan rng only) ----
+  // Schedule up to `count` crash+reboot cycles across `targets` inside
+  // [window_begin, window_end), each down for a uniform duration in
+  // [min_down, max_down]. Windows of the same target never overlap; cycles
+  // that no longer fit in the window are dropped (deterministically).
+  void randomCrashes(const std::vector<std::string>& targets, int count, Duration window_begin,
+                     Duration window_end, Duration min_down, Duration max_down);
+
+  // Validate every referenced target/hook and schedule all events. Call
+  // once, before (or while) the simulation runs.
+  void arm();
+  bool armed() const noexcept { return armed_; }
+
+  std::size_t eventCount() const noexcept { return events_.size(); }
+  // Deterministic event-grammar dump (docs/FAULTS.md), one event per line in
+  // firing order — stable across runs, diffable in tests.
+  std::string describe() const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    crash,
+    reboot,
+    partition,
+    heal,
+    loss_begin,
+    loss_end,
+    disk_fail,
+    disk_heal,
+  };
+  struct Event {
+    Duration at{};
+    Kind kind{};
+    std::string target;                          // node events
+    std::vector<std::string> group_a, group_b;   // partition/heal
+    double rate = 0.0;                           // loss_begin
+    std::uint64_t seq = 0;                       // insertion tiebreak
+  };
+
+  void add(Duration at, Kind kind, std::string target, std::vector<std::string> group_a = {},
+           std::vector<std::string> group_b = {}, double rate = 0.0);
+  void fire(const Event& e);
+  std::vector<const Event*> ordered() const;
+  static std::string line(const Event& e);
+
+  Simulation& sim_;
+  std::mt19937_64 rng_;
+  std::map<std::string, FaultHooks> targets_;
+  MediumFaultHooks medium_;
+  bool has_medium_ = false;
+  std::vector<Event> events_;
+  std::uint64_t next_seq_ = 0;
+  bool armed_ = false;
+  // Plan-level metrics ("fault/plan/..."), resolved at construction.
+  std::uint64_t* m_crashes_;
+  std::uint64_t* m_reboots_;
+  std::uint64_t* m_partitions_;
+  std::uint64_t* m_heals_;
+  std::uint64_t* m_loss_windows_;
+  std::uint64_t* m_disk_windows_;
+};
+
+}  // namespace clouds::sim

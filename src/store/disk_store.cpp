@@ -12,6 +12,15 @@ DiskStore::DiskStore(std::uint32_t home_node, const sim::CostModel& cost,
                      std::size_t buffer_cache_pages)
     : home_(home_node), cost_(cost), cache_capacity_(buffer_cache_pages) {}
 
+void DiskStore::attachMetrics(sim::MetricsRegistry& metrics, const std::string& scope) {
+  m_reads_ = &metrics.counter(scope + "/disk/reads");
+  m_writes_ = &metrics.counter(scope + "/disk/writes");
+  m_io_errors_ = &metrics.counter(scope + "/disk/io_errors");
+  *m_reads_ = disk_reads_;
+  *m_writes_ = disk_writes_;
+  *m_io_errors_ = io_errors_;
+}
+
 DiskStore::StoredSegment* DiskStore::find(const Sysname& s) {
   auto it = segments_.find(s);
   return it == segments_.end() ? nullptr : &it->second;
@@ -72,6 +81,7 @@ std::vector<Sysname> DiskStore::listSegments() const {
 void DiskStore::chargeDiskRead(sim::Process& self, const ra::PageKey& key) {
   if (buffer_cache_.count(key) != 0) return;  // buffer-cache hit: no mechanical delay
   ++disk_reads_;
+  if (m_reads_ != nullptr) ++*m_reads_;
   self.delay(cost_.disk_seek_rotate + cost_.disk_per_page);
   buffer_cache_.insert(key);
   cache_order_.push_back(key);
@@ -83,7 +93,16 @@ void DiskStore::chargeDiskRead(sim::Process& self, const ra::PageKey& key) {
 
 void DiskStore::chargeDiskWrite(sim::Process& self) {
   ++disk_writes_;
+  if (m_writes_ != nullptr) ++*m_writes_;
   self.delay(cost_.disk_per_page);  // write-behind: no synchronous seek charge
+}
+
+Result<void> DiskStore::diskFault(sim::Process& self, const char* op) {
+  ++io_errors_;
+  if (m_io_errors_ != nullptr) ++*m_io_errors_;
+  // The failing operation still spins the disk before erroring out.
+  self.delay(cost_.disk_seek_rotate);
+  return makeError(Errc::io, std::string("disk fault during ") + op);
 }
 
 Result<bool> DiskStore::readPage(sim::Process& self, const ra::PageKey& key,
@@ -99,12 +118,21 @@ Result<bool> DiskStore::readPage(sim::Process& self, const ra::PageKey& key,
     std::memset(out.data(), 0, out.size());
     return false;  // never written: zero-fill, no disk I/O
   }
+  if (faulty_) return diskFault(self, "readPage").error();
   chargeDiskRead(self, key);
   std::memcpy(out.data(), it->second.data(), ra::kPageSize);
   return true;
 }
 
 Result<void> DiskStore::writePage(sim::Process& self, const ra::PageKey& key, ByteSpan data) {
+  if (faulty_) return diskFault(self, "writePage");
+  return writePageDurable(self, key, data);
+}
+
+// Commit-path page apply: never gated by the fault flag — the decision is
+// already in the forced log and must be applicable on retransmit.
+Result<void> DiskStore::writePageDurable(sim::Process& self, const ra::PageKey& key,
+                                         ByteSpan data) {
   StoredSegment* s = find(key.segment);
   if (s == nullptr) return makeError(Errc::not_found, "no segment " + key.segment.toString());
   if (key.page >= s->info.pageCount()) {
@@ -136,6 +164,7 @@ Result<void> DiskStore::prepare(sim::Process& self, std::uint64_t txid,
       return makeError(Errc::bad_argument, "prepare with bad page size");
     }
   }
+  if (faulty_) return diskFault(self, "prepare");
   // Force the log record (one synchronous write regardless of page count;
   // the page images ride in the same log flush).
   self.delay(cost_.commit_log_write);
@@ -151,7 +180,7 @@ Result<void> DiskStore::commitPrepared(sim::Process& self, std::uint64_t txid) {
   }
   self.delay(cost_.commit_log_write);  // force the commit record
   for (const PageUpdate& u : it->second) {
-    CLOUDS_TRY(writePage(self, u.key, u.data));
+    CLOUDS_TRY(writePageDurable(self, u.key, u.data));
   }
   prepared_.erase(it);
   return okResult();

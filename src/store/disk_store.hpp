@@ -25,6 +25,7 @@
 #include "common/sysname.hpp"
 #include "ra/types.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/metrics.hpp"
 #include "sim/process.hpp"
 
 namespace clouds::store {
@@ -70,6 +71,19 @@ class DiskStore {
   void loseVolatileState() { buffer_cache_.clear(); cache_order_.clear(); }
   void clearBufferCache() { loseVolatileState(); }
 
+  // Fault injection: while faulty, page reads/writes and prepare fail with
+  // Errc::io (after paying their disk time — a failing disk still spins).
+  // Commit/abort of an already-prepared transaction stay available: the
+  // decision records live in the forced log, and gating them would turn a
+  // transient disk fault into a stuck in-doubt transaction.
+  void setFaulty(bool faulty) noexcept { faulty_ = faulty; }
+  bool faulty() const noexcept { return faulty_; }
+  std::uint64_t ioErrors() const noexcept { return io_errors_; }
+
+  // Mirror disk counters into the registry as "<scope>/disk/..." (optional;
+  // stores built outside a node — unit tests — skip it).
+  void attachMetrics(sim::MetricsRegistry& metrics, const std::string& scope);
+
   // Snapshot all durable state to / from a host file (survives the process).
   Result<void> saveTo(const std::string& path) const;
   Result<void> loadFrom(const std::string& path);
@@ -85,6 +99,8 @@ class DiskStore {
 
   void chargeDiskRead(sim::Process& self, const ra::PageKey& key);
   void chargeDiskWrite(sim::Process& self);
+  Result<void> diskFault(sim::Process& self, const char* op);
+  Result<void> writePageDurable(sim::Process& self, const ra::PageKey& key, ByteSpan data);
   StoredSegment* find(const Sysname& s);
   const StoredSegment* find(const Sysname& s) const;
 
@@ -99,6 +115,12 @@ class DiskStore {
   std::vector<ra::PageKey> cache_order_;
   std::uint64_t disk_reads_ = 0;
   std::uint64_t disk_writes_ = 0;
+  bool faulty_ = false;
+  std::uint64_t io_errors_ = 0;
+  // Optional registry mirrors (null until attachMetrics).
+  std::uint64_t* m_reads_ = nullptr;
+  std::uint64_t* m_writes_ = nullptr;
+  std::uint64_t* m_io_errors_ = nullptr;
 };
 
 }  // namespace clouds::store

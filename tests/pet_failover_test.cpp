@@ -1,0 +1,116 @@
+// PET commit failover (paper §5.2.2): "If there is a failure in committing
+// this thread, another completed thread is chosen."
+//
+// The scenario the paper's prose implies but pet_test's static cases don't
+// cover: the chosen terminating thread's replica server dies after the
+// thread completed but before its state reaches a quorum. The coordinator
+// must fail over to a sibling completed thread, commit from its replica,
+// and report the failover; the superseded replica stays behind in the
+// version vector until a later propagation repairs it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "clouds/standard_classes.hpp"
+#include "pet/pet.hpp"
+#include "sim/fault.hpp"
+
+namespace clouds::pet {
+namespace {
+
+using obj::Value;
+
+struct FailoverFixture {
+  std::unique_ptr<Cluster> c;
+  std::unique_ptr<PetManager> pm;
+
+  explicit FailoverFixture(int compute = 4, int data = 3, std::uint64_t seed = 42) {
+    ClusterConfig cfg;
+    cfg.compute_servers = compute;
+    cfg.data_servers = data;
+    cfg.seed = seed;
+    c = std::make_unique<Cluster>(cfg);
+    obj::samples::registerAll(c->classes());
+    pm = std::make_unique<PetManager>(*c);
+  }
+};
+
+TEST(PetFailover, NoFaultsMeansNoFailovers) {
+  FailoverFixture f;
+  auto ro = f.pm->createReplicated("counter", "RC", 3);
+  ASSERT_TRUE(ro.ok());
+  auto r = f.pm->runResilient(ro.value(), "add_gcp", {2}, 2);
+  ASSERT_TRUE(r.ok()) << r.error().toString();
+  EXPECT_EQ(r.value().failovers, 0);
+  EXPECT_EQ(f.c->sim().metrics().counterValue("pet/replica_failovers"), 0u);
+}
+
+TEST(PetFailover, DataServerCrashMidCommitFailsOverToSibling) {
+  FailoverFixture f;
+  auto ro = f.pm->createReplicated("counter", "RC", 3);
+  ASSERT_TRUE(ro.ok());
+
+  // Scripted: kill compute 1 early so PET 0 (bound to replica 0) never
+  // completes. Replica 0's home (data 0) also hosts the meta segment and
+  // must stay up, so the mid-commit kill targets replica 1's home instead.
+  sim::FaultPlan plan(f.c->sim(), 42);
+  f.c->installFaultHooks(plan);
+  plan.crashAt("cpu1", sim::msec(30));
+  plan.arm();
+
+  // With PET 0 dead, the first commit candidate is PET 1 (replica 1, home
+  // data 1). Crash data 1 just after that PET's gcp commit lands there —
+  // after the thread completed, before the coordinator propagates its
+  // state: mid-commit from the resilient computation's point of view.
+  const std::uint64_t base = f.c->sim().metrics().counterValue("data1/dsm/tx_commits");
+  const sim::TimePoint deadline = f.c->sim().now() + sim::sec(10);
+  f.c->sim().spawn("chaos-monitor", [&](sim::Process& self) {
+    while (f.c->sim().now() < deadline) {
+      if (f.c->sim().metrics().counterValue("data1/dsm/tx_commits") > base) {
+        self.delay(sim::msec(20));
+        f.c->crashData(1);
+        return;
+      }
+      self.delay(sim::msec(5));
+    }
+  });
+
+  auto r = f.pm->runResilient(ro.value(), "add_gcp", {5}, 3);
+  ASSERT_TRUE(r.ok()) << r.error().toString();
+  EXPECT_EQ(r.value().value, Value{5});
+  EXPECT_EQ(r.value().threads_completed, 2);  // PET 0 died with cpu1
+  EXPECT_GE(r.value().failovers, 1);          // candidate 1's commit failed
+  EXPECT_EQ(r.value().replicas_written, 2);   // quorum of 3 without data1
+  EXPECT_GE(f.c->sim().metrics().counterValue("pet/replica_failovers"), 1u);
+
+  // Version vectors: the committed state reached replicas 0 and 2; replica 1
+  // was superseded mid-commit and stays behind.
+  auto vv = f.pm->replicaVersions(ro.value());
+  ASSERT_TRUE(vv.ok()) << vv.error().toString();
+  ASSERT_EQ(vv.value().size(), 3u);
+  const std::uint64_t fresh = *std::max_element(vv.value().begin(), vv.value().end());
+  EXPECT_EQ(vv.value()[0], fresh);
+  EXPECT_EQ(vv.value()[2], fresh);
+  EXPECT_LT(vv.value()[1], fresh);
+
+  auto v = f.pm->readFreshest(ro.value(), "value", {});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), Value{5});
+
+  // The failed replica's server reboots; the next propagation repairs it
+  // and the version vectors converge.
+  f.c->restartData(1);
+  auto r2 = f.pm->runResilient(ro.value(), "add_gcp", {1}, 2);
+  ASSERT_TRUE(r2.ok()) << r2.error().toString();
+  EXPECT_EQ(r2.value().replicas_written, 3);
+  auto vv2 = f.pm->replicaVersions(ro.value());
+  ASSERT_TRUE(vv2.ok());
+  EXPECT_EQ(vv2.value()[0], vv2.value()[1]);
+  EXPECT_EQ(vv2.value()[1], vv2.value()[2]);
+  auto v2 = f.pm->readFreshest(ro.value(), "value", {});
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2.value(), Value{6});
+}
+
+}  // namespace
+}  // namespace clouds::pet

@@ -1,0 +1,238 @@
+// Crash/partition recovery chaos suite (CTest label: chaos).
+//
+// A 4-node cluster (2 compute + 2 data servers) runs a distributed-2PC
+// workload — every transaction updates one counter on each data server
+// inside a single gcp scope — while a FaultPlan injects scripted and
+// seeded-random faults. Invariants:
+//  * no committed transaction is lost: every commit observed by a surviving
+//    client is durable on BOTH data servers after recovery;
+//  * atomicity across a data-server crash (clients alive): the two counters
+//    move in lockstep;
+//  * no segment lock leaks: a fresh distributed transaction over both
+//    segments succeeds once the plan has run its course;
+//  * every RaTP transaction on a never-crashed endpoint ends in a reply, a
+//    timeout, or an abort — started == completed + timed_out + aborted
+//    (crashed endpoints may additionally lose killed waiters);
+//  * the whole run is a pure function of (seed, plan): byte-identical
+//    metrics JSON and trace digest across same-seed runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clouds/cluster.hpp"
+#include "clouds/standard_classes.hpp"
+#include "sim/fault.hpp"
+
+namespace clouds {
+namespace {
+
+using obj::Value;
+using obj::ValueList;
+
+struct ChaosCluster {
+  std::unique_ptr<Cluster> c;
+
+  explicit ChaosCluster(std::uint64_t seed) {
+    ClusterConfig cfg;
+    cfg.compute_servers = 2;
+    cfg.data_servers = 2;
+    cfg.workstations = 0;
+    cfg.seed = seed;
+    c = std::make_unique<Cluster>(cfg);
+    obj::samples::registerAll(c->classes());
+
+    // One counter per data server; "bump" moves both inside one gcp scope —
+    // a genuinely distributed 2PC on every call.
+    obj::ClassDef mover;
+    mover.name = "pairmover";
+    mover.entry(
+        "bump",
+        [](obj::ObjectContext& ctx, const ValueList&) -> Result<Value> {
+          CLOUDS_TRY_ASSIGN(a, ctx.call("A", "add_gcp", {1}));
+          (void)a;
+          CLOUDS_TRY_ASSIGN(b, ctx.call("B", "add_gcp", {1}));
+          (void)b;
+          return Value{true};
+        },
+        obj::OpLabel::gcp);
+    c->classes().registerClass(std::move(mover));
+
+    obj::ClassDef driver;
+    driver.name = "chaosdriver";
+    driver.entry("run",
+                 [](obj::ObjectContext& ctx, const ValueList& args) -> Result<Value> {
+                   CLOUDS_TRY_ASSIGN(ops, args[0].asInt());
+                   std::int64_t committed = 0;
+                   for (std::int64_t i = 0; i < ops; ++i) {
+                     if (ctx.call("M", "bump", {}).ok()) ++committed;
+                   }
+                   return Value{committed};
+                 });
+    c->classes().registerClass(std::move(driver));
+
+    EXPECT_TRUE(c->create("counter", "A", 0).ok());
+    EXPECT_TRUE(c->create("counter", "B", 1).ok());
+    EXPECT_TRUE(c->create("pairmover", "M").ok());
+    EXPECT_TRUE(c->create("chaosdriver", "D").ok());
+  }
+
+  std::int64_t counter(const char* name) {
+    auto r = c->call(name, "value");
+    EXPECT_TRUE(r.ok()) << errcName(r.code());
+    return r.ok() ? r.value().intOr(-1) : -1;
+  }
+};
+
+void expectRatpBalanced(net::RatpEndpoint& ep, bool node_crashed, const char* who) {
+  const net::RatpStats& s = ep.stats();
+  const std::uint64_t ended =
+      s.transactions_completed + s.transactions_timed_out + s.transactions_aborted;
+  if (node_crashed) {
+    // Waiters killed by the node crash end nowhere; everything else must.
+    EXPECT_GE(s.transactions_started, ended) << who;
+  } else {
+    EXPECT_EQ(s.transactions_started, ended) << who;
+  }
+}
+
+struct RunOutcome {
+  std::int64_t committed = 0;  // commits observed by surviving driver threads
+  std::int64_t attempts = 0;
+  std::int64_t value_a = -1;
+  std::int64_t value_b = -1;
+  bool probe_ok = false;
+  std::string metrics_json;
+  std::uint64_t trace_digest = 0;
+};
+
+// The acceptance scenario: one data server crashes mid-2PC stream and
+// reboots 500 ms later, from a scripted plan.
+RunOutcome runScripted(std::uint64_t seed) {
+  ChaosCluster cc(seed);
+  Cluster& c = *cc.c;
+  sim::FaultPlan plan(c.sim(), seed);
+  c.installFaultHooks(plan);
+  plan.crashAt("data1", sim::msec(150), sim::msec(500));
+  plan.arm();
+
+  const std::int64_t ops = 6;
+  auto h0 = c.start("D", "run", {ops}, 0);
+  auto h1 = c.start("D", "run", {ops}, 1);
+  c.run();
+
+  RunOutcome out;
+  out.attempts = 2 * ops;
+  for (const auto& h : {h0, h1}) {
+    if (h->done && h->result.ok()) out.committed += h->result.value().intOr(0);
+  }
+  EXPECT_EQ(c.sim().metrics().counterValue("data1/fault/crashes"), 1u);
+  EXPECT_TRUE(c.dataNode(1).alive());
+
+  // Lock-leak probe: a fresh distributed transaction over both segments.
+  out.probe_ok = c.call("M", "bump").ok();
+  out.value_a = cc.counter("A");
+  out.value_b = cc.counter("B");
+
+  expectRatpBalanced(c.computeNode(0).ratp(), false, "cpu0");
+  expectRatpBalanced(c.computeNode(1).ratp(), false, "cpu1");
+  expectRatpBalanced(c.dataNode(0).ratp(), false, "data0");
+  expectRatpBalanced(c.dataNode(1).ratp(), true, "data1");
+
+  out.metrics_json = c.sim().metrics().toJson();
+  out.trace_digest = c.sim().tracer().digest();
+  return out;
+}
+
+TEST(RecoveryChaos, ScriptedDataServerCrashMid2pcLosesNoCommittedWrite) {
+  const RunOutcome a = runScripted(0xC10D5);
+  EXPECT_TRUE(a.probe_ok);
+  EXPECT_GT(a.committed, 0);
+  // Atomicity across the crash: the two halves always moved together.
+  EXPECT_EQ(a.value_a, a.value_b);
+  // Zero lost committed writes: every observed commit (plus the probe) is
+  // durable. Phantom commits (decision applied, client saw a failure) may
+  // push the counters above the observed floor but never past attempts.
+  const std::int64_t floor = a.committed + (a.probe_ok ? 1 : 0);
+  EXPECT_GE(a.value_a, floor);
+  EXPECT_LE(a.value_a, a.attempts + 1);
+
+  // Same seed, same plan: byte-identical replay.
+  const RunOutcome b = runScripted(0xC10D5);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.value_a, b.value_a);
+}
+
+// Seeded sweep: random crash/reboot cycles on a compute and a data server,
+// one scripted partition, one loss window — all via the plan's own rng.
+RunOutcome runSweep(std::uint64_t seed) {
+  ChaosCluster cc(seed);
+  Cluster& c = *cc.c;
+  sim::FaultPlan plan(c.sim(), seed * 0x9E3779B97F4A7C15ULL + 1);
+  c.installFaultHooks(plan);
+  plan.randomCrashes({"cpu1"}, 2, sim::msec(100), sim::sec(2), sim::msec(50),
+                     sim::msec(400));
+  plan.randomCrashes({"data1"}, 1, sim::msec(120), sim::sec(2), sim::msec(50),
+                     sim::msec(300));
+  plan.partitionAt({"cpu0"}, {"data1"}, sim::msec(250), sim::msec(150));
+  plan.lossWindow(sim::msec(500), sim::msec(250), 0.05);
+  plan.arm();
+
+  const std::int64_t ops = 4;
+  std::vector<std::shared_ptr<obj::Runtime::ThreadHandle>> handles;
+  for (int t = 0; t < 4; ++t) handles.push_back(c.start("D", "run", {ops}, t % 2));
+  c.run();
+
+  RunOutcome out;
+  out.attempts = 4 * ops;
+  for (const auto& h : handles) {
+    if (h->done && h->result.ok()) out.committed += h->result.value().intOr(0);
+  }
+  // Every crash in the plan came with a reboot: the cluster is whole again.
+  EXPECT_TRUE(c.computeNode(1).alive());
+  EXPECT_TRUE(c.dataNode(1).alive());
+
+  out.probe_ok = c.call("M", "bump").ok();
+  out.value_a = cc.counter("A");
+  out.value_b = cc.counter("B");
+
+  expectRatpBalanced(c.computeNode(0).ratp(), false, "cpu0");
+  expectRatpBalanced(c.computeNode(1).ratp(), true, "cpu1");
+  expectRatpBalanced(c.dataNode(0).ratp(), false, "data0");
+  expectRatpBalanced(c.dataNode(1).ratp(), true, "data1");
+
+  out.metrics_json = c.sim().metrics().toJson();
+  out.trace_digest = c.sim().tracer().digest();
+  return out;
+}
+
+class RecoverySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecoverySweep, NoCommittedWriteLostNoLockLeakedDeterministic) {
+  const RunOutcome a = runSweep(GetParam());
+  // No lock leaked: the probe transaction gets both write locks and commits.
+  EXPECT_TRUE(a.probe_ok);
+  // No committed write lost. A client crash mid-decision can legitimately
+  // leave one half in doubt, so each counter is bounded below by the
+  // observed commits (all from surviving clients) and above by attempts.
+  const std::int64_t floor = a.committed + (a.probe_ok ? 1 : 0);
+  EXPECT_GE(a.value_a, floor);
+  EXPECT_GE(a.value_b, floor);
+  EXPECT_LE(a.value_a, a.attempts + 1);
+  EXPECT_LE(a.value_b, a.attempts + 1);
+
+  const RunOutcome b = runSweep(GetParam());
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.committed, b.committed);
+}
+
+// The three fixed seeds the chaos-asan CI lane runs (ROADMAP verify line).
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoverySweep,
+                         ::testing::Values(0xC10D5EEDULL, 1988u, 77u));
+
+}  // namespace
+}  // namespace clouds

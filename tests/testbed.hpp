@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "ra/mmu.hpp"
 #include "ra/node.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulation.hpp"
 #include "store/disk_store.hpp"
 
@@ -49,6 +51,7 @@ struct Testbed {
       ds.node = std::make_unique<ra::Node>(sim, cost, ether, 100 + i, "data" + std::to_string(i),
                                            static_cast<int>(ra::NodeRole::data));
       ds.store = std::make_unique<store::DiskStore>(ds.node->id(), cost);
+      ds.store->attachMetrics(sim.metrics(), ds.node->name());
       ds.server = std::make_unique<dsm::DsmServer>(*ds.node, *ds.store);
       data.push_back(std::move(ds));
     }
@@ -63,6 +66,71 @@ struct Testbed {
       cs.sync = std::make_unique<dsm::SyncClient>(*cs.node, nullptr);
       compute.push_back(std::move(cs));
     }
+  }
+
+  // ---- Failure injection (mirrors Cluster's helpers) ----
+  void notifyClientCrash(net::NodeId client) {
+    for (auto& ds : data) {
+      if (!ds.node->alive() || ds.node->id() == client) continue;
+      ds.server->onClientCrash(client);
+    }
+  }
+  void crashCompute(int idx) {
+    ra::Node& n = *compute.at(static_cast<std::size_t>(idx)).node;
+    n.crash();
+    notifyClientCrash(n.id());
+  }
+  void restartCompute(int idx) { compute.at(static_cast<std::size_t>(idx)).node->restart(); }
+  void crashData(int idx) { data.at(static_cast<std::size_t>(idx)).node->crash(); }
+  void restartData(int idx) { data.at(static_cast<std::size_t>(idx)).node->restart(); }
+
+  // Register every node (by name) and the medium with a fault plan.
+  void installFaultHooks(sim::FaultPlan& plan) {
+    for (auto& ds : data) {
+      ra::Node* node = ds.node.get();
+      store::DiskStore* st = ds.store.get();
+      sim::FaultHooks hooks;
+      hooks.crash = [node] { node->crash(); };
+      hooks.reboot = [node] { node->restart(); };
+      hooks.disk_faulty = [st](bool faulty) { st->setFaulty(faulty); };
+      plan.registerTarget(node->name(), std::move(hooks));
+    }
+    for (auto& cs : compute) {
+      ra::Node* node = cs.node.get();
+      sim::FaultHooks hooks;
+      hooks.crash = [this, node] {
+        node->crash();
+        notifyClientCrash(node->id());
+      };
+      hooks.reboot = [node] { node->restart(); };
+      plan.registerTarget(node->name(), std::move(hooks));
+    }
+    sim::MediumFaultHooks medium;
+    medium.partition = [this](const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+      ether.partitionGroups(resolveNames(a), resolveNames(b));
+    };
+    medium.heal = [this](const std::vector<std::string>& a, const std::vector<std::string>& b) {
+      ether.healGroups(resolveNames(a), resolveNames(b));
+    };
+    medium.loss_rate = [this](double rate) { ether.setDropRate(rate); };
+    plan.setMediumHooks(std::move(medium));
+  }
+
+  std::vector<net::NodeId> resolveNames(const std::vector<std::string>& names) const {
+    std::vector<net::NodeId> out;
+    for (const std::string& name : names) {
+      net::NodeId id = net::kNoNode;
+      for (const auto& ds : data) {
+        if (ds.node->name() == name) id = ds.node->id();
+      }
+      for (const auto& cs : compute) {
+        if (cs.node->name() == name) id = cs.node->id();
+      }
+      if (id == net::kNoNode) throw std::logic_error("Testbed: unknown node name '" + name + "'");
+      out.push_back(id);
+    }
+    return out;
   }
 };
 

@@ -45,10 +45,31 @@ Cluster::Machine Cluster::makeMachine(net::NodeId id, const std::string& name, b
   return m;
 }
 
+// Per-node gossip options: a deterministic phase offset (derived from the
+// node id) staggers the fleet's broadcast ticks on the shared medium.
+sched::Agent::Options Cluster::agentOptions(net::NodeId id) const {
+  sched::Agent::Options opts = config_.sched;
+  if (opts.gossip_phase == sim::kZero) {
+    opts.gossip_phase = sim::usec(5000 + 500 * static_cast<std::int64_t>(id % 97));
+  }
+  return opts;
+}
+
 void Cluster::finishComputeRole(Machine& m) {
   if (m.dsm == nullptr) return;
   m.runtime = std::make_unique<obj::Runtime>(*m.node, *m.dsm, *m.anon, classes_,
                                              data_view_.front().node->id());
+  // Everything the LoadMonitor samples is local to this machine.
+  sched::LoadMonitor::Providers prov;
+  prov.live_threads = [rt = m.runtime.get()] { return rt->liveThreadCount(); };
+  prov.resident_frames = [d = m.dsm] { return d->residentFrames(); };
+  prov.frame_capacity = [d = m.dsm] { return d->frameCapacity(); };
+  prov.cached_segments = [d = m.dsm](std::size_t max) { return d->cachedSegments(max); };
+  m.sched = std::make_unique<sched::Agent>(*m.node, agentOptions(m.node->id()),
+                                           std::move(prov));
+  m.runtime->onThreadCompleted([mon = m.sched->monitor()](sim::Duration latency) {
+    mon->recordCompletion(latency);
+  });
 }
 
 Cluster::Cluster(ClusterConfig config)
@@ -92,12 +113,21 @@ Cluster::Cluster(ClusterConfig config)
   }
   for (auto& m : machines_) {
     if (m.runtime != nullptr && m.store == nullptr) {
-      compute_view_.push_back(ComputeView{m.node.get(), m.runtime.get(), m.dsm});
+      compute_view_.push_back(ComputeView{m.node.get(), m.runtime.get(), m.dsm, m.sched.get()});
     }
   }
   for (auto& m : machines_) {
     if (m.runtime != nullptr && m.store != nullptr) {
-      compute_view_.push_back(ComputeView{m.node.get(), m.runtime.get(), m.dsm});
+      compute_view_.push_back(ComputeView{m.node.get(), m.runtime.get(), m.dsm, m.sched.get()});
+    }
+  }
+  // Pure data servers listen to the load gossip too (a name or storage
+  // service may care about compute load), so broadcasts never land on an
+  // unbound protocol handler.
+  for (auto& m : machines_) {
+    if (m.runtime == nullptr) {
+      m.sched = std::make_unique<sched::Agent>(*m.node, agentOptions(m.node->id()),
+                                               sched::LoadMonitor::Providers{});
     }
   }
 
@@ -107,6 +137,10 @@ Cluster::Cluster(ClusterConfig config)
                                          "ws" + std::to_string(i),
                                          static_cast<int>(ra::NodeRole::workstation));
     wn.ws = std::make_unique<sysobj::Workstation>(*wn.node);
+    // Workstations are where users submit threads, so each runs a listener
+    // agent: its LoadTable is built only from received broadcasts.
+    wn.agent = std::make_unique<sched::Agent>(*wn.node, agentOptions(wn.node->id()),
+                                              sched::LoadMonitor::Providers{});
     workstations_.push_back(std::move(wn));
   }
 }
@@ -121,6 +155,7 @@ Result<Sysname> Cluster::create(const std::string& class_name, const std::string
     result = rt.createObject(t, class_name, dataNode(data_idx).id(), object_name);
   });
   sim_.run();
+  if (result.ok() && !object_name.empty()) created_objects_[object_name] = result.value();
   return result;
 }
 
@@ -200,17 +235,32 @@ Cluster::Stats Cluster::stats() const {
     s.disk_writes += dv.store->diskWrites();
     s.retransmissions += dv.node->ratp().stats().retransmissions;
   }
+  for (const auto& m : machines_) {
+    if (m.sched == nullptr) continue;
+    s.sched_reports_sent += m.sched->gossip().reportsSent();
+    s.sched_reports_received += m.sched->gossip().reportsReceived();
+    s.sched_placements += m.sched->scheduler().placements();
+    s.sched_stale_evictions += m.sched->table().staleEvictions();
+    s.sched_fallbacks += m.sched->scheduler().fallbacks();
+  }
+  for (const auto& wn : workstations_) {
+    s.sched_reports_received += wn.agent->gossip().reportsReceived();
+    s.sched_placements += wn.agent->scheduler().placements();
+    s.sched_stale_evictions += wn.agent->table().staleEvictions();
+    s.sched_fallbacks += wn.agent->scheduler().fallbacks();
+  }
   s.frames_on_wire = ether_.framesOnWire();
   s.bytes_on_wire = ether_.bytesOnWire();
   return s;
 }
 
 std::string Cluster::Stats::toString() const {
-  char buf[320];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "invocations=%llu (remote %llu) activations=%llu tx_retries=%llu "
                 "faults=%llu coherence_callbacks=%llu frames=%llu bytes=%llu "
-                "retransmits=%llu disk_r/w=%llu/%llu",
+                "retransmits=%llu disk_r/w=%llu/%llu "
+                "sched[sent=%llu recv=%llu placed=%llu stale_evict=%llu fallback=%llu]",
                 static_cast<unsigned long long>(invocations),
                 static_cast<unsigned long long>(remote_invocations),
                 static_cast<unsigned long long>(activations),
@@ -221,7 +271,12 @@ std::string Cluster::Stats::toString() const {
                 static_cast<unsigned long long>(bytes_on_wire),
                 static_cast<unsigned long long>(retransmissions),
                 static_cast<unsigned long long>(disk_reads),
-                static_cast<unsigned long long>(disk_writes));
+                static_cast<unsigned long long>(disk_writes),
+                static_cast<unsigned long long>(sched_reports_sent),
+                static_cast<unsigned long long>(sched_reports_received),
+                static_cast<unsigned long long>(sched_placements),
+                static_cast<unsigned long long>(sched_stale_evictions),
+                static_cast<unsigned long long>(sched_fallbacks));
   return buf;
 }
 
@@ -298,7 +353,7 @@ void Cluster::installFaultHooks(sim::FaultPlan& plan) {
   plan.setMediumHooks(std::move(medium));
 }
 
-int Cluster::scheduleComputeServer() const {
+int Cluster::scheduleOracle() const {
   int best = -1;
   std::size_t best_load = 0;
   for (std::size_t i = 0; i < compute_view_.size(); ++i) {
@@ -313,9 +368,63 @@ int Cluster::scheduleComputeServer() const {
   return best;
 }
 
+int Cluster::computeIndexOf(net::NodeId id) const {
+  for (std::size_t i = 0; i < compute_view_.size(); ++i) {
+    if (compute_view_[i].node->id() == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// The node whose load view answers placement requests arriving at this
+// façade: workstation 0 when present (users submit from workstations), else
+// the first live compute server.
+sched::Scheduler* Cluster::chooserScheduler() {
+  for (auto& wn : workstations_) {
+    if (wn.node->alive()) return &wn.agent->scheduler();
+  }
+  for (auto& cv : compute_view_) {
+    if (cv.node->alive()) return &cv.sched->scheduler();
+  }
+  return nullptr;
+}
+
+int Cluster::placeVia(sched::Scheduler& chooser, const std::optional<Sysname>& locality_hint) {
+  std::set<net::NodeId> excluded;
+  for (;;) {
+    auto placed = chooser.place(locality_hint, excluded);
+    if (!placed.ok()) break;
+    const int idx = computeIndexOf(placed.value());
+    if (idx >= 0 && compute_view_[idx].node->alive()) return idx;
+    // The chosen server crashed between its last report and now (or the
+    // view is partitioned-stale): drop it and retry on what's left.
+    chooser.noteDead(placed.value());
+    excluded.insert(placed.value());
+  }
+  // Degraded mode — the chooser's view is empty (gossip disabled, fully
+  // partitioned, or every known peer just excluded): place on the first
+  // live compute server rather than failing the submission.
+  for (std::size_t i = 0; i < compute_view_.size(); ++i) {
+    if (compute_view_[i].node->alive()) {
+      chooser.countFallback();
+      return static_cast<int>(i);
+    }
+  }
+  throw std::runtime_error("no live compute server to schedule on");
+}
+
+int Cluster::scheduleComputeServer(const std::optional<Sysname>& locality_hint) {
+  if (config_.sched.policy == sched::PolicyKind::oracle) return scheduleOracle();
+  sched::Scheduler* chooser = chooserScheduler();
+  if (chooser == nullptr) throw std::runtime_error("no live compute server to schedule on");
+  return placeVia(*chooser, locality_hint);
+}
+
 std::shared_ptr<obj::Runtime::ThreadHandle> Cluster::startBalanced(
     const std::string& object_name, const std::string& entry, obj::ValueList args) {
-  return start(object_name, entry, std::move(args), scheduleComputeServer());
+  std::optional<Sysname> hint;
+  auto it = created_objects_.find(object_name);
+  if (it != created_objects_.end()) hint = it->second;
+  return start(object_name, entry, std::move(args), scheduleComputeServer(hint));
 }
 
 }  // namespace clouds

@@ -15,12 +15,15 @@
 // first, then the combined machines.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "clouds/runtime.hpp"
 #include "dsm/server.hpp"
+#include "sched/scheduler.hpp"
 #include "sim/simulation.hpp"
 
 namespace clouds::sim {
@@ -38,6 +41,11 @@ struct ClusterConfig {
   sim::CostModel cost;
   std::size_t frame_capacity = 2048;   // DSM frames per compute server
   std::size_t store_cache_pages = 256; // buffer cache per data server
+  // Distributed scheduling (src/sched): placement policy, gossip cadence,
+  // staleness windows. policy = PolicyKind::oracle restores the old
+  // omniscient baseline. A zero gossip_phase gets a deterministic per-node
+  // offset so the fleet's broadcasts do not collide on one tick.
+  sched::Agent::Options sched;
 };
 
 class Cluster {
@@ -70,10 +78,23 @@ class Cluster {
 
   // The paper's §3.2 scheduling decision: "selecting a compute server to
   // execute the thread ... may depend on such factors as scheduling
-  // policies and the load at each compute server". Returns the least-loaded
-  // live compute server (by hosted-thread count, ties to the lowest index).
-  int scheduleComputeServer() const;
-  // start() on the scheduled server.
+  // policies and the load at each compute server". Placement goes through
+  // the sched/ subsystem: the chooser node (workstation 0 when present,
+  // else the first live compute server) consults its gossip-fed LoadTable
+  // and the configured policy. A chosen server that turns out to be dead is
+  // excluded and the placement retried; an empty table degrades to the
+  // first live compute server (counted in sched/fallbacks).
+  int scheduleComputeServer() { return scheduleComputeServer(std::nullopt); }
+  int scheduleComputeServer(const std::optional<Sysname>& locality_hint);
+  // Run one placement through an explicit chooser (benches compare several
+  // independent choosers); returns a compute index, with the same
+  // dead-server retry + degraded fallback as scheduleComputeServer.
+  int placeVia(sched::Scheduler& chooser, const std::optional<Sysname>& locality_hint = {});
+  // The old omniscient scheduler, kept as the oracle baseline: reads every
+  // runtime's live thread count directly (no messages, no staleness).
+  int scheduleOracle() const;
+  // start() on the scheduled server (locality hint = the object's header
+  // sysname, when this cluster created the object).
   std::shared_ptr<obj::Runtime::ThreadHandle> startBalanced(const std::string& object_name,
                                                             const std::string& entry,
                                                             obj::ValueList args = {});
@@ -96,6 +117,8 @@ class Cluster {
   dsm::DsmServer& dsmServer(int idx) { return *data_view_.at(idx).server; }
   sysobj::NameServer& nameServer() { return *name_server_; }
   sysobj::Workstation& workstation(int idx) { return *workstations_.at(idx).ws; }
+  sched::Agent& schedAgent(int compute_idx) { return *compute_view_.at(compute_idx).sched; }
+  sched::Agent& workstationSchedAgent(int idx) { return *workstations_.at(idx).agent; }
   net::NodeId workstationId(int idx) const {
     return workstations_.empty() ? net::kNoNode : workstations_.at(idx).node->id();
   }
@@ -124,6 +147,12 @@ class Cluster {
     std::uint64_t invalidations = 0;     // DSM coherence callbacks sent
     std::uint64_t disk_reads = 0;
     std::uint64_t disk_writes = 0;
+    // Scheduler (sched/) counters, aggregated over every agent.
+    std::uint64_t sched_reports_sent = 0;
+    std::uint64_t sched_reports_received = 0;
+    std::uint64_t sched_placements = 0;
+    std::uint64_t sched_stale_evictions = 0;
+    std::uint64_t sched_fallbacks = 0;
     std::string toString() const;
   };
   Stats stats() const;
@@ -152,11 +181,13 @@ class Cluster {
     dsm::DsmClientPartition* dsm = nullptr;  // owned by the node
     ra::AnonPartition* anon = nullptr;       // owned by the node
     std::unique_ptr<obj::Runtime> runtime;
+    std::unique_ptr<sched::Agent> sched;     // gossip + placement state
   };
   struct ComputeView {
     ra::Node* node;
     obj::Runtime* runtime;
     dsm::DsmClientPartition* dsm;
+    sched::Agent* sched;
   };
   struct DataView {
     ra::Node* node;
@@ -166,6 +197,7 @@ class Cluster {
   struct WorkstationNode {
     std::unique_ptr<ra::Node> node;
     std::unique_ptr<sysobj::Workstation> ws;
+    std::unique_ptr<sched::Agent> agent;  // gossip listener + chooser
   };
 
   Machine makeMachine(net::NodeId id, const std::string& name, bool data_role,
@@ -173,6 +205,9 @@ class Cluster {
   void finishComputeRole(Machine& m);
   void notifyClientCrash(net::NodeId client);
   std::vector<net::NodeId> resolveNames(const std::vector<std::string>& names) const;
+  sched::Agent::Options agentOptions(net::NodeId id) const;
+  sched::Scheduler* chooserScheduler();
+  int computeIndexOf(net::NodeId id) const;
 
   ClusterConfig config_;
   sim::Simulation sim_;
@@ -183,6 +218,9 @@ class Cluster {
   std::vector<DataView> data_view_;
   std::vector<WorkstationNode> workstations_;
   std::unique_ptr<sysobj::NameServer> name_server_;
+  // Objects this façade created, for locality hints (an object's sysname is
+  // its header segment's sysname — exactly what the gossip digests carry).
+  std::map<std::string, Sysname> created_objects_;
 };
 
 }  // namespace clouds

@@ -409,13 +409,15 @@ std::shared_ptr<Runtime::ThreadHandle> Runtime::startThread(const Sysname& objec
   auto handle = std::make_shared<ThreadHandle>();
   const std::uint64_t id = (static_cast<std::uint64_t>(node_.id()) << 40) | next_thread_++;
   handle->thread_id = id;
+  const sim::TimePoint started = node_.simulation().now();
   node_.spawnIsiBa("thread" + std::to_string(id & 0xffffff),
-                   [this, handle, id, workstation, window, object, entry,
+                   [this, handle, id, workstation, window, object, entry, started,
                     args = std::move(args)](sim::Process& self) {
                      CloudsThread& t = adoptThread(id, workstation, window, self);
                      handle->result = invoke(t, object, entry, args);
                      handle->done = true;
                      handle->completed_at = node_.simulation().now();
+                     if (thread_completed_) thread_completed_(handle->completed_at - started);
                      reapThread(t);
                    });
   return handle;
@@ -438,13 +440,15 @@ std::shared_ptr<Runtime::ThreadHandle> Runtime::startThreadByName(
   auto handle = std::make_shared<ThreadHandle>();
   const std::uint64_t id = (static_cast<std::uint64_t>(node_.id()) << 40) | next_thread_++;
   handle->thread_id = id;
+  const sim::TimePoint started = node_.simulation().now();
   node_.spawnIsiBa("thread" + std::to_string(id & 0xffffff),
-                   [this, handle, id, workstation, window, object_name, entry,
+                   [this, handle, id, workstation, window, object_name, entry, started,
                     args = std::move(args)](sim::Process& self) {
                      CloudsThread& t = adoptThread(id, workstation, window, self);
                      handle->result = invokeByName(t, object_name, entry, args);
                      handle->done = true;
                      handle->completed_at = node_.simulation().now();
+                     if (thread_completed_) thread_completed_(handle->completed_at - started);
                      reapThread(t);
                    });
   return handle;

@@ -96,6 +96,12 @@ class Runtime {
   // Threads currently hosted by this node (load metric for scheduling).
   std::size_t liveThreadCount() const noexcept { return threads_.size(); }
 
+  // Observer invoked with each started thread's completion latency (start
+  // to completion, simulated time). Feeds the scheduler's LoadMonitor EWMA.
+  void onThreadCompleted(std::function<void(sim::Duration)> hook) {
+    thread_completed_ = std::move(hook);
+  }
+
  private:
   friend class ObjectContext;
 
@@ -125,6 +131,7 @@ class Runtime {
   std::vector<std::unique_ptr<CloudsThread>> threads_;
   std::uint64_t next_thread_ = 1;
   RuntimeStats stats_;
+  std::function<void(sim::Duration)> thread_completed_;
 };
 
 }  // namespace clouds::obj

@@ -76,7 +76,7 @@ bool Shell::execute(const std::string& line) {
 
   if (cmd == "help") {
     say("commands: create <class> <name> [data_idx] | invoke <name>.<entry> [args] | "
-        "names | classes | help");
+        "submit <name>.<entry> [args] | names | classes | help");
     return true;
   }
   if (cmd == "classes") {
@@ -120,6 +120,32 @@ bool Shell::execute(const std::string& line) {
     say(r.ok() ? object + "." + entry + " -> " + r.value().toString()
                : "error: " + r.error().toString());
     return r.ok();
+  }
+  if (cmd == "submit") {
+    // Like invoke, but the compute server is picked by the scheduling
+    // subsystem (gossip load view + configured policy) instead of being
+    // this shell's pinned server.
+    if (tokens.size() < 2 || tokens[1].find('.') == std::string::npos) {
+      say("usage: submit <name>.<entry> [args...]");
+      return false;
+    }
+    const auto dot = tokens[1].find('.');
+    const std::string object = tokens[1].substr(0, dot);
+    const std::string entry = tokens[1].substr(dot + 1);
+    obj::ValueList args;
+    for (std::size_t i = 2; i < tokens.size(); ++i) args.push_back(parseArg(tokens[i]));
+    const int idx = cluster_.scheduleComputeServer();
+    auto handle = cluster_.start(object, entry, std::move(args), idx);
+    cluster_.run();
+    if (!handle->done) {
+      say("error: thread did not complete");
+      return false;
+    }
+    const std::string where = " (on " + cluster_.computeNode(idx).name() + ")";
+    say(handle->result.ok()
+            ? object + "." + entry + " -> " + handle->result.value().toString() + where
+            : "error: " + handle->result.error().toString());
+    return handle->result.ok();
   }
   say("unknown command: " + cmd + " (try 'help')");
   return false;

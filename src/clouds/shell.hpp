@@ -8,6 +8,9 @@
 // Commands (one per line, executed from a workstation window):
 //   create <class> <name> [data_idx]      instantiate a class
 //   invoke <name>.<entry> [args...]       run an entry point (int / "str")
+//   submit <name>.<entry> [args...]       like invoke, but the compute
+//                                         server is chosen by the sched/
+//                                         subsystem (load-aware placement)
 //   names                                 list name-server bindings
 //   classes                               list registered classes
 //   help

@@ -30,6 +30,19 @@ void DsmClientPartition::loseVolatileState() {
   pinned_.clear();
 }
 
+std::vector<Sysname> DsmClientPartition::cachedSegments(std::size_t max) const {
+  std::vector<Sysname> out;
+  // frames_ is ordered by (segment, page), so a segment's frames are
+  // contiguous and the result comes out sorted without extra work.
+  for (const auto& [key, frame] : frames_) {
+    if (frame.state == FState::invalid) continue;
+    if (!out.empty() && out.back() == key.segment) continue;
+    if (out.size() == max) break;
+    out.push_back(key.segment);
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------- fault path
 
 Result<ra::PageHandle> DsmClientPartition::resolvePage(sim::Process& self,

@@ -77,6 +77,12 @@ class DsmClientPartition : public ra::Partition {
 
   std::uint64_t hitCount() const noexcept { return hits_; }
   std::size_t residentFrames() const noexcept { return frames_.size(); }
+  std::size_t frameCapacity() const noexcept { return capacity_; }
+
+  // Cache-residency hint for the distributed scheduler: the distinct
+  // segments with at least one valid resident frame, in sysname order,
+  // capped at `max`. Deterministic (frames_ is an ordered map).
+  std::vector<Sysname> cachedSegments(std::size_t max) const;
 
  private:
   enum class FState : std::uint8_t { invalid, shared, exclusive };

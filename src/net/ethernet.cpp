@@ -154,7 +154,7 @@ void Ethernet::transmit(const Frame& frame) {
     ++*m_dropped_;
     return;
   }
-  if (partitioned(frame.src, frame.dst)) {
+  if (frame.dst != kBroadcast && partitioned(frame.src, frame.dst)) {
     // A partitioned frame occupies wire time on the sender's segment but
     // never crosses the cut; it counts as dropped *and* blocked.
     ++dropped_;
@@ -210,6 +210,24 @@ bool Ethernet::partitioned(NodeId a, NodeId b) const noexcept {
 }
 
 void Ethernet::deliver(const Frame& frame) {
+  if (frame.dst == kBroadcast) {
+    // One frame on the shared wire, heard by every other interface. A
+    // partition suppresses reception per receiver: the frame crossed the
+    // sender's segment (already accounted on-wire) but not the cut, so each
+    // suppressed copy counts as blocked *and* dropped, like the unicast case.
+    for (auto& nic : nics_) {
+      if (nic->address() == frame.src) continue;
+      if (partitioned(frame.src, nic->address())) {
+        ++dropped_;
+        ++*m_dropped_;
+        ++blocked_frames_;
+        ++*m_blocked_;
+        continue;
+      }
+      nic->enqueueReceived(frame);
+    }
+    return;
+  }
   Nic* dst = find(frame.dst);
   if (dst == nullptr) {
     ++dropped_;

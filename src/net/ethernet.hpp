@@ -31,12 +31,16 @@ namespace clouds::net {
 
 using NodeId = std::uint32_t;
 inline constexpr NodeId kNoNode = 0xffffffffu;
+// Destination address for link-level broadcast (FF:FF:..): one frame on the
+// wire, delivered to every attached interface except the sender's.
+inline constexpr NodeId kBroadcast = 0xfffffffeu;
 
 using ProtocolId = std::uint16_t;
 inline constexpr ProtocolId kProtoEcho = 1;
 inline constexpr ProtocolId kProtoRatp = 2;
 inline constexpr ProtocolId kProtoUnixUdp = 3;
 inline constexpr ProtocolId kProtoUnixTcp = 4;
+inline constexpr ProtocolId kProtoSched = 5;  // scheduler load reports (sched/)
 
 struct Frame {
   NodeId src = kNoNode;

@@ -1,0 +1,38 @@
+#include "sched/monitor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace clouds::sched {
+
+LoadMonitor::LoadMonitor(net::NodeId node, Providers providers, std::size_t locality_segments)
+    : node_(node),
+      providers_(std::move(providers)),
+      locality_segments_(std::min(locality_segments, LoadReport::kMaxSegments)) {}
+
+void LoadMonitor::recordCompletion(sim::Duration latency) {
+  const auto sample =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(0, latency.count() / 1000));
+  if (ewma_usec_ == 0) {
+    ewma_usec_ = sample;
+  } else {
+    ewma_usec_ = ewma_usec_ - ewma_usec_ / 8 + sample / 8;
+  }
+}
+
+LoadReport LoadMonitor::sample(std::uint64_t seq) const {
+  LoadReport r;
+  r.node = node_;
+  r.seq = seq;
+  r.threads = static_cast<std::uint32_t>(providers_.live_threads());
+  const std::size_t capacity = providers_.frame_capacity();
+  if (capacity > 0) {
+    r.frame_permille =
+        static_cast<std::uint32_t>(providers_.resident_frames() * 1000 / capacity);
+  }
+  r.ewma_latency_usec = ewma_usec_;
+  if (locality_segments_ > 0) r.cached = providers_.cached_segments(locality_segments_);
+  return r;
+}
+
+}  // namespace clouds::sched

@@ -1,0 +1,47 @@
+// LoadMonitor — samples one compute server's local load.
+//
+// Everything a monitor reads is *local* to its node: the runtime's live
+// thread count (run-queue length), the DSM client partition's frame-cache
+// occupancy, and an EWMA of recent invocation completion latencies fed by
+// the runtime's thread-completion hook. The providers are injected as
+// closures so the sched layer stays below the clouds layer in the build.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sched/report.hpp"
+#include "sim/time.hpp"
+
+namespace clouds::sched {
+
+class LoadMonitor {
+ public:
+  struct Providers {
+    std::function<std::size_t()> live_threads;
+    std::function<std::size_t()> resident_frames;
+    std::function<std::size_t()> frame_capacity;
+    std::function<std::vector<Sysname>(std::size_t max)> cached_segments;
+  };
+
+  LoadMonitor(net::NodeId node, Providers providers, std::size_t locality_segments);
+
+  // Fed by the runtime whenever a Clouds thread completes on this node.
+  void recordCompletion(sim::Duration latency);
+
+  // Volatile state dies with the node.
+  void reset() { ewma_usec_ = 0; }
+
+  std::uint64_t ewmaLatencyUsec() const noexcept { return ewma_usec_; }
+
+  LoadReport sample(std::uint64_t seq) const;
+
+ private:
+  net::NodeId node_;
+  Providers providers_;
+  std::size_t locality_segments_;
+  // Integer fixed-point EWMA (alpha = 1/8): deterministic, no doubles.
+  std::uint64_t ewma_usec_ = 0;
+};
+
+}  // namespace clouds::sched

@@ -1,0 +1,77 @@
+#include "sched/policy.hpp"
+
+#include <stdexcept>
+
+namespace clouds::sched {
+
+const char* policyName(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::oracle: return "oracle";
+    case PolicyKind::random: return "random";
+    case PolicyKind::least_loaded: return "least_loaded";
+    case PolicyKind::power_of_two: return "power_of_two";
+    case PolicyKind::locality: return "locality";
+  }
+  return "?";
+}
+
+namespace {
+
+// Strict-weak "a places better than b": fresh before stale, then lower
+// effective load, then lower recent latency, then lower node id (stable).
+bool better(const Candidate& a, const Candidate& b) noexcept {
+  if (a.stale != b.stale) return !a.stale;
+  if (a.load != b.load) return a.load < b.load;
+  if (a.ewma_usec != b.ewma_usec) return a.ewma_usec < b.ewma_usec;
+  return a.node < b.node;
+}
+
+std::size_t leastLoaded(const std::vector<Candidate>& c) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    if (better(c[i], c[best])) best = i;
+  }
+  return best;
+}
+
+// rng() % n is deterministic across standard libraries (unlike
+// uniform_int_distribution); the modulo bias is irrelevant at these sizes.
+std::size_t uniformIndex(std::size_t n, std::mt19937_64& rng) { return rng() % n; }
+
+}  // namespace
+
+std::size_t choosePlacement(PolicyKind kind, const std::vector<Candidate>& candidates,
+                            std::mt19937_64& rng) {
+  if (candidates.empty()) throw std::logic_error("choosePlacement: no candidates");
+  switch (kind) {
+    case PolicyKind::oracle:
+      // The façade answers oracle placements itself; treat as least-loaded
+      // if one slips through to a table-driven chooser.
+      return leastLoaded(candidates);
+    case PolicyKind::random:
+      return uniformIndex(candidates.size(), rng);
+    case PolicyKind::least_loaded:
+      return leastLoaded(candidates);
+    case PolicyKind::power_of_two: {
+      if (candidates.size() < 2) return 0;
+      // Two distinct probes with a fixed number of draws (determinism).
+      const std::size_t i = uniformIndex(candidates.size(), rng);
+      const std::size_t j =
+          (i + 1 + uniformIndex(candidates.size() - 1, rng)) % candidates.size();
+      return better(candidates[j], candidates[i]) ? j : i;
+    }
+    case PolicyKind::locality: {
+      // Least-loaded among the servers already caching the target; fall back
+      // to plain least-loaded when no one admits to caching it.
+      std::size_t best = candidates.size();
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (!candidates[i].caches_target) continue;
+        if (best == candidates.size() || better(candidates[i], candidates[best])) best = i;
+      }
+      return best == candidates.size() ? leastLoaded(candidates) : best;
+    }
+  }
+  return leastLoaded(candidates);
+}
+
+}  // namespace clouds::sched

@@ -1,0 +1,41 @@
+// Placement policies — how a node turns its LoadTable into a decision.
+//
+// All policies see only the candidates the caller's table knows about (plus
+// the caller's own live self-sample); a policy never inspects remote state
+// directly. Randomized policies draw from the simulation's seeded generator
+// so placement is deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "common/sysname.hpp"
+#include "net/ethernet.hpp"
+
+namespace clouds::sched {
+
+enum class PolicyKind : std::uint8_t {
+  oracle,        // omniscient baseline (cluster façade reads every runtime)
+  random,        // uniform over known-live candidates
+  least_loaded,  // minimum effective load (fresh entries preferred)
+  power_of_two,  // two uniform probes, keep the better (Mitzenmacher)
+  locality,      // prefer servers whose DSM cache holds the target's segments
+};
+
+const char* policyName(PolicyKind kind) noexcept;
+
+struct Candidate {
+  net::NodeId node = net::kNoNode;
+  std::uint64_t load = 0;       // effective load: reported + inflight
+  std::uint64_t ewma_usec = 0;  // recent invocation latency (tie-breaker)
+  bool stale = false;           // report older than stale_after
+  bool caches_target = false;   // locality digest contains the hint segment
+};
+
+// Pick an index into `candidates` (must be non-empty, ordered by node id).
+std::size_t choosePlacement(PolicyKind kind, const std::vector<Candidate>& candidates,
+                            std::mt19937_64& rng);
+
+}  // namespace clouds::sched

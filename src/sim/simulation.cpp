@@ -12,7 +12,13 @@ Simulation::~Simulation() { shutdownProcesses(); }
 
 void Simulation::schedule(Duration delay, std::function<void()> fn) {
   if (delay < kZero) throw std::invalid_argument("Simulation::schedule: negative delay");
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  queue_.push(Event{now_ + delay, next_seq_++, false, std::move(fn)});
+  ++live_events_;
+}
+
+void Simulation::scheduleDaemon(Duration delay, std::function<void()> fn) {
+  if (delay < kZero) throw std::invalid_argument("Simulation::scheduleDaemon: negative delay");
+  queue_.push(Event{now_ + delay, next_seq_++, true, std::move(fn)});
 }
 
 Process& Simulation::spawn(std::string name, std::function<void()> body) {
@@ -40,10 +46,15 @@ std::size_t Simulation::runUntil(TimePoint horizon, bool bounded) {
   stopped_ = false;
   std::size_t executed = 0;
   while (!queue_.empty() && !stopped_) {
+    // An unbounded run drains real work; once only daemon housekeeping
+    // (periodic gossip ticks, ...) remains, it would spin forever, so stop
+    // and leave the daemon events queued for the next bounded run.
+    if (!bounded && live_events_ == 0) break;
     const Event& top = queue_.top();
     if (bounded && top.at > horizon) break;
     assert(top.at >= now_);
     now_ = top.at;
+    if (!top.daemon) --live_events_;
     auto fn = std::move(const_cast<Event&>(top).fn);
     queue_.pop();
     fn();

@@ -34,6 +34,12 @@ class Simulation {
   // Schedule fn to run in event context at now() + delay.
   void schedule(Duration delay, std::function<void()> fn);
 
+  // Schedule a *daemon* event: background housekeeping (e.g. the load
+  // gossip tick) that fires normally during bounded runs but does not keep
+  // an unbounded run() alive — run() returns once only daemon events remain
+  // queued, so "drain the cluster" loops still terminate.
+  void scheduleDaemon(Duration delay, std::function<void()> fn);
+
   // Create a process; its body starts executing at now() (via the queue).
   // The returned reference stays valid for the simulation's lifetime. The
   // second form hands the body its own Process handle.
@@ -70,6 +76,7 @@ class Simulation {
   struct Event {
     TimePoint at;
     std::uint64_t seq;
+    bool daemon;
     std::function<void()> fn;
   };
   struct EventLater {
@@ -88,6 +95,7 @@ class Simulation {
   std::uint64_t next_process_id_ = 0;
   bool stopped_ = false;
   bool running_ = false;
+  std::size_t live_events_ = 0;  // queued non-daemon events
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::mt19937_64 rng_;

@@ -16,6 +16,7 @@ struct RunResult {
   std::int64_t counter = 0;
   sim::TimePoint end{};
   std::string metrics_json;
+  std::string placements;  // gossip-scheduler decisions, e.g. "011"
 };
 
 RunResult runWorkload(std::uint64_t seed, bool keep_entries = false) {
@@ -39,6 +40,15 @@ RunResult runWorkload(std::uint64_t seed, bool keep_entries = false) {
   cluster.run();
 
   RunResult out;
+  // Gossip-fed placement is part of the deterministic universe: the chooser
+  // (workstation 0) places from its received load reports, and the sequence
+  // of decisions must replay exactly.
+  for (int i = 0; i < 3; ++i) {
+    const int idx = cluster.scheduleComputeServer();
+    out.placements.push_back(static_cast<char>('0' + idx));
+    handles.push_back(cluster.start("C", "add_gcp", {1}, idx));
+    cluster.run();
+  }
   out.counter = cluster.call("C", "value").value().asInt().valueOr(-1);
   out.digest = cluster.sim().tracer().digest();
   out.trace_count = cluster.sim().tracer().count();
@@ -57,7 +67,8 @@ TEST(Determinism, SameSeedSameUniverse) {
   // The metrics snapshot is part of the determinism contract: same seed,
   // byte-identical JSON (sorted keys, integer values, no wall-clock).
   EXPECT_EQ(a.metrics_json, b.metrics_json);
-  EXPECT_EQ(a.counter, 5);  // and the workload itself succeeded
+  EXPECT_EQ(a.placements, b.placements);
+  EXPECT_EQ(a.counter, 8);  // and the workload itself succeeded (5 + 3 balanced)
 }
 
 TEST(Determinism, MetricsUnaffectedByTraceStorageMode) {
@@ -69,6 +80,7 @@ TEST(Determinism, MetricsUnaffectedByTraceStorageMode) {
   EXPECT_EQ(lean.trace_count, full.trace_count);
   EXPECT_EQ(lean.metrics_json, full.metrics_json);
   EXPECT_EQ(lean.end, full.end);
+  EXPECT_EQ(lean.placements, full.placements);
 }
 
 TEST(Determinism, DifferentSeedDivergesButStaysCorrect) {
@@ -78,8 +90,8 @@ TEST(Determinism, DifferentSeedDivergesButStaysCorrect) {
   EXPECT_NE(a.digest, b.digest);
   EXPECT_NE(a.metrics_json, b.metrics_json);
   // ...but identical semantics.
-  EXPECT_EQ(a.counter, 5);
-  EXPECT_EQ(b.counter, 5);
+  EXPECT_EQ(a.counter, 8);
+  EXPECT_EQ(b.counter, 8);
 }
 
 }  // namespace

@@ -46,6 +46,17 @@ TEST(Shell, QuotedStringsWithSpaces) {
   EXPECT_NE(f.terminal().find("F.size -> 17"), std::string::npos);
 }
 
+TEST(Shell, SubmitRoutesThroughScheduler) {
+  ShellFixture f;
+  ASSERT_TRUE(f.shell.execute("create counter C"));
+  EXPECT_TRUE(f.shell.execute("submit C.add 1"));
+  EXPECT_TRUE(f.shell.execute("submit C.value"));
+  // submit reports where the sched/ subsystem placed the thread.
+  EXPECT_NE(f.terminal().find("C.value -> 1 (on cpu"), std::string::npos);
+  EXPECT_FALSE(f.shell.execute("submit MalformedNoDot"));
+  EXPECT_FALSE(f.shell.execute("submit Missing.noop"));
+}
+
 TEST(Shell, ErrorsAreReportedNotFatal) {
   ShellFixture f;
   EXPECT_FALSE(f.shell.execute("invoke Missing.noop"));

@@ -58,6 +58,54 @@ TEST(NameServer, RejectsEmptyBindings) {
   EXPECT_EQ(f.names.bind("x", sysobj::Binding{}).code(), Errc::bad_argument);
 }
 
+TEST(NameServer, DirectFailurePaths) {
+  SysobjBed f;
+  const Sysname a = ra::makeHomedSysname(100, 1);
+  const Sysname b = ra::makeHomedSysname(100, 2);
+  // Unbinding a name that was never bound is not_found, not a crash.
+  EXPECT_EQ(f.names.unbind("ghost").code(), Errc::not_found);
+  // Rebinding without replace refuses and leaves the original intact.
+  ASSERT_TRUE(f.names.bind("x", {{a}}).ok());
+  EXPECT_EQ(f.names.bind("x", {{b}}).code(), Errc::already_exists);
+  auto got = f.names.lookup("x");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().sysnames.front(), a);
+}
+
+TEST(NameServer, SaveLoadRoundTripPreservesReplicaSets) {
+  const std::string path = ::testing::TempDir() + "clouds_names_roundtrip.bin";
+  const Sysname a = ra::makeHomedSysname(100, 1);
+  const Sysname b = ra::makeHomedSysname(101, 2);
+  const Sysname c = ra::makeHomedSysname(102, 3);
+  {
+    SysobjBed f;
+    ASSERT_TRUE(f.names.bind("solo", {{a}}).ok());
+    ASSERT_TRUE(f.names.bind("replicated", {{a, b, c}}).ok());
+    ASSERT_TRUE(f.names.saveTo(path).ok());
+  }
+  // A fresh name server (fresh simulation, fresh node) resumes the map,
+  // including replica-set order.
+  SysobjBed g;
+  ASSERT_TRUE(g.names.loadFrom(path).ok());
+  auto solo = g.names.lookup("solo");
+  ASSERT_TRUE(solo.ok());
+  EXPECT_FALSE(solo.value().isReplicated());
+  EXPECT_EQ(solo.value().sysnames.front(), a);
+  auto rep = g.names.lookup("replicated");
+  ASSERT_TRUE(rep.ok());
+  ASSERT_TRUE(rep.value().isReplicated());
+  ASSERT_EQ(rep.value().sysnames.size(), 3u);
+  EXPECT_EQ(rep.value().sysnames[0], a);
+  EXPECT_EQ(rep.value().sysnames[1], b);
+  EXPECT_EQ(rep.value().sysnames[2], c);
+  EXPECT_EQ(g.names.list().size(), 2u);
+}
+
+TEST(NameServer, LoadFromMissingFileFails) {
+  SysobjBed f;
+  EXPECT_FALSE(f.names.loadFrom("/nonexistent/dir/clouds_names.bin").ok());
+}
+
 TEST(UserIo, WritesRouteToWindowAndReadsConsumeInput) {
   SysobjBed f;
   sysobj::IoClient io(*f.compute[0].node);

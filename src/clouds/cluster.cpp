@@ -70,6 +70,48 @@ void Cluster::finishComputeRole(Machine& m) {
   m.runtime->onThreadCompleted([mon = m.sched->monitor()](sim::Duration latency) {
     mon->recordCompletion(latency);
   });
+  // The Migrator reaches into the runtime only through these closures
+  // (migrate/ sits below clouds/ in the layering).
+  obj::Runtime* rt = m.runtime.get();
+  migrate::Migrator::Hooks mh;
+  mh.begin_drain = [rt](const Sysname& o) { return rt->beginDrain(o); };
+  mh.end_drain = [rt](const Sysname& o) { rt->endDrain(o); };
+  mh.wait_quiesced = [rt](sim::Process& self, const Sysname& o, sim::Duration timeout) {
+    return rt->waitQuiesced(self, o, timeout);
+  };
+  mh.flush_deactivate = [rt](sim::Process& self, const Sysname& o) {
+    return rt->flushForMigration(self, o);
+  };
+  mh.pick_hot = [rt](std::uint64_t min_heat) { return rt->hottestObject(min_heat); };
+  mh.forget_heat = [rt](const Sysname& header) { rt->forgetHeat(header); };
+  mh.data_home_of = [this](net::NodeId peer) { return dataHomeOf(peer); };
+  mh.committed = [this, rt](const Sysname& old_header, const Sysname& new_header) {
+    rt->forgetHeat(old_header);
+    // Keep the façade's locality hints pointing at the live incarnation.
+    for (auto& [name, sys] : created_objects_) {
+      if (sys == old_header) sys = new_header;
+    }
+  };
+  m.migrator = std::make_unique<migrate::Migrator>(*m.node, *m.dsm, &m.sched->table(),
+                                                   data_view_.front().node->id(),
+                                                   migrateOptions(m.node->id()), std::move(mh));
+}
+
+// Per-node migration options: stagger daemon ticks like the gossip ticks,
+// on a different stride so the two families of timers interleave.
+migrate::Migrator::Options Cluster::migrateOptions(net::NodeId id) const {
+  migrate::Migrator::Options opts = config_.migrate;
+  if (opts.phase == sim::kZero) {
+    opts.phase = sim::usec(9000 + 700 * static_cast<std::int64_t>(id % 89));
+  }
+  return opts;
+}
+
+net::NodeId Cluster::dataHomeOf(net::NodeId compute) const {
+  for (const auto& m : machines_) {
+    if (m.node->id() == compute) return m.store != nullptr ? compute : net::kNoNode;
+  }
+  return net::kNoNode;
 }
 
 Cluster::Cluster(ClusterConfig config)
@@ -113,12 +155,12 @@ Cluster::Cluster(ClusterConfig config)
   }
   for (auto& m : machines_) {
     if (m.runtime != nullptr && m.store == nullptr) {
-      compute_view_.push_back(ComputeView{m.node.get(), m.runtime.get(), m.dsm, m.sched.get()});
+      compute_view_.push_back(ComputeView{m.node.get(), m.runtime.get(), m.dsm, m.sched.get(), m.migrator.get()});
     }
   }
   for (auto& m : machines_) {
     if (m.runtime != nullptr && m.store != nullptr) {
-      compute_view_.push_back(ComputeView{m.node.get(), m.runtime.get(), m.dsm, m.sched.get()});
+      compute_view_.push_back(ComputeView{m.node.get(), m.runtime.get(), m.dsm, m.sched.get(), m.migrator.get()});
     }
   }
   // Pure data servers listen to the load gossip too (a name or storage
@@ -183,6 +225,31 @@ Result<obj::Value> Cluster::callObject(const Sysname& object, const std::string&
   return handle->result;
 }
 
+Result<Sysname> Cluster::migrateObjectSync(int compute_idx, const Sysname& object,
+                                           int target_data_idx) {
+  Result<Sysname> result = makeError(Errc::internal, "migration never ran");
+  migrate::Migrator& mig = migrator(compute_idx);
+  const net::NodeId target = dataNode(target_data_idx).id();
+  runtime(compute_idx).spawnThread("migrate:" + object.toString(), [&](obj::CloudsThread& t) {
+    result = mig.migrateObject(*t.process, object, target);
+  });
+  sim_.run();
+  return result;
+}
+
+std::string Cluster::migrationEvents() const {
+  std::string out;
+  for (const auto& cv : compute_view_) {
+    for (const std::string& e : cv.migrator->events()) {
+      out += cv.node->name();
+      out += ": ";
+      out += e;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
 std::shared_ptr<obj::Runtime::ThreadHandle> Cluster::start(const std::string& object_name,
                                                            const std::string& entry,
                                                            obj::ValueList args,
@@ -228,6 +295,10 @@ Cluster::Stats Cluster::stats() const {
     s.tx_retries += cv.runtime->stats().tx_retries;
     s.page_faults += cv.dsm->faultCount();
     s.retransmissions += cv.node->ratp().stats().retransmissions;
+    s.migrations_started += cv.migrator->stats().started;
+    s.migrations_committed += cv.migrator->stats().committed;
+    s.migrations_aborted += cv.migrator->stats().aborted;
+    s.forward_chases += cv.runtime->stats().forward_chases;
   }
   for (const auto& dv : data_view_) {
     s.invalidations += dv.server->invalidationsSent() + dv.server->degradesSent();
@@ -255,12 +326,13 @@ Cluster::Stats Cluster::stats() const {
 }
 
 std::string Cluster::Stats::toString() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
                 "invocations=%llu (remote %llu) activations=%llu tx_retries=%llu "
                 "faults=%llu coherence_callbacks=%llu frames=%llu bytes=%llu "
                 "retransmits=%llu disk_r/w=%llu/%llu "
-                "sched[sent=%llu recv=%llu placed=%llu stale_evict=%llu fallback=%llu]",
+                "sched[sent=%llu recv=%llu placed=%llu stale_evict=%llu fallback=%llu] "
+                "migrate[started=%llu committed=%llu aborted=%llu chases=%llu]",
                 static_cast<unsigned long long>(invocations),
                 static_cast<unsigned long long>(remote_invocations),
                 static_cast<unsigned long long>(activations),
@@ -276,7 +348,11 @@ std::string Cluster::Stats::toString() const {
                 static_cast<unsigned long long>(sched_reports_received),
                 static_cast<unsigned long long>(sched_placements),
                 static_cast<unsigned long long>(sched_stale_evictions),
-                static_cast<unsigned long long>(sched_fallbacks));
+                static_cast<unsigned long long>(sched_fallbacks),
+                static_cast<unsigned long long>(migrations_started),
+                static_cast<unsigned long long>(migrations_committed),
+                static_cast<unsigned long long>(migrations_aborted),
+                static_cast<unsigned long long>(forward_chases));
   return buf;
 }
 

@@ -23,6 +23,7 @@
 
 #include "clouds/runtime.hpp"
 #include "dsm/server.hpp"
+#include "migrate/migrator.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulation.hpp"
 
@@ -46,6 +47,10 @@ struct ClusterConfig {
   // omniscient baseline. A zero gossip_phase gets a deterministic per-node
   // offset so the fleet's broadcasts do not collide on one tick.
   sched::Agent::Options sched;
+  // Object migration (src/migrate): daemon watermarks and cadence. Disabled
+  // by default; migrateObjectSync works regardless. A zero phase gets a
+  // deterministic per-node offset, staggered against the gossip ticks.
+  migrate::Migrator::Options migrate;
 };
 
 class Cluster {
@@ -119,6 +124,19 @@ class Cluster {
   sysobj::Workstation& workstation(int idx) { return *workstations_.at(idx).ws; }
   sched::Agent& schedAgent(int compute_idx) { return *compute_view_.at(compute_idx).sched; }
   sched::Agent& workstationSchedAgent(int idx) { return *workstations_.at(idx).agent; }
+  migrate::Migrator& migrator(int compute_idx) {
+    return *compute_view_.at(compute_idx).migrator;
+  }
+  // The data server co-located with a compute node (kNoNode for a diskless
+  // compute server — it cannot adopt segments).
+  net::NodeId dataHomeOf(net::NodeId compute) const;
+  // Synchronously migrate an object from wherever it lives to data server
+  // `target_data_idx`, driven by compute server `compute_idx`'s Migrator.
+  Result<Sysname> migrateObjectSync(int compute_idx, const Sysname& object,
+                                    int target_data_idx);
+  // Every compute server's migration transcript, node-name-prefixed, in
+  // compute-view order — deterministic for a given seed.
+  std::string migrationEvents() const;
   net::NodeId workstationId(int idx) const {
     return workstations_.empty() ? net::kNoNode : workstations_.at(idx).node->id();
   }
@@ -153,6 +171,11 @@ class Cluster {
     std::uint64_t sched_placements = 0;
     std::uint64_t sched_stale_evictions = 0;
     std::uint64_t sched_fallbacks = 0;
+    // Migration (migrate/) counters, aggregated over every compute server.
+    std::uint64_t migrations_started = 0;
+    std::uint64_t migrations_committed = 0;
+    std::uint64_t migrations_aborted = 0;
+    std::uint64_t forward_chases = 0;
     std::string toString() const;
   };
   Stats stats() const;
@@ -182,12 +205,14 @@ class Cluster {
     ra::AnonPartition* anon = nullptr;       // owned by the node
     std::unique_ptr<obj::Runtime> runtime;
     std::unique_ptr<sched::Agent> sched;     // gossip + placement state
+    std::unique_ptr<migrate::Migrator> migrator;
   };
   struct ComputeView {
     ra::Node* node;
     obj::Runtime* runtime;
     dsm::DsmClientPartition* dsm;
     sched::Agent* sched;
+    migrate::Migrator* migrator;
   };
   struct DataView {
     ra::Node* node;
@@ -206,6 +231,7 @@ class Cluster {
   void notifyClientCrash(net::NodeId client);
   std::vector<net::NodeId> resolveNames(const std::vector<std::string>& names) const;
   sched::Agent::Options agentOptions(net::NodeId id) const;
+  migrate::Migrator::Options migrateOptions(net::NodeId id) const;
   sched::Scheduler* chooserScheduler();
   int computeIndexOf(net::NodeId id) const;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "migrate/protocol.hpp"
+
 namespace clouds::obj {
 
 namespace {
@@ -44,6 +46,10 @@ Runtime::Runtime(ra::Node& node, dsm::DsmClientPartition& dsm, ra::AnonPartition
     // frames their activation is gone and must not be touched.
     ++activation_epoch_;
     active_.clear();
+    // Drain gates and heat counters die with the node (the Migrator's crash
+    // hook force-resets its FSM in the same sweep).
+    draining_.clear();
+    heat_.clear();
   });
 }
 
@@ -165,29 +171,117 @@ Result<void> Runtime::deactivateObject(sim::Process& self, const Sysname& object
   return okResult();
 }
 
+// ------------------------------------------------------------- migration
+
+int Runtime::executingThreads(const Sysname& object) const {
+  auto it = active_.find(object);
+  return it == active_.end() ? 0 : it->second.executing_threads;
+}
+
+Result<void> Runtime::waitQuiesced(sim::Process& self, const Sysname& object,
+                                   sim::Duration timeout) {
+  const sim::TimePoint deadline = node_.simulation().now() + timeout;
+  while (executingThreads(object) > 0) {
+    const sim::TimePoint now = node_.simulation().now();
+    if (now >= deadline) {
+      return makeError(Errc::timeout, "drain of " + object.toString() +
+                                          " timed out with threads still executing");
+    }
+    (void)quiesce_gate_.waitFor(self, deadline - now);
+  }
+  return okResult();
+}
+
+Result<void> Runtime::flushForMigration(sim::Process& self, const Sysname& object) {
+  if (active_.count(object) == 0) return okResult();  // store already authoritative
+  return deactivateObject(self, object, /*flush=*/true);
+}
+
+std::optional<Sysname> Runtime::hottestObject(std::uint64_t min_heat) const {
+  std::optional<Sysname> best;
+  std::uint64_t best_heat = 0;
+  for (const auto& [name, ao] : active_) {
+    (void)ao;
+    if (draining_.count(name) != 0) continue;
+    const auto it = heat_.find(name);
+    const std::uint64_t h = it == heat_.end() ? 0 : it->second;
+    if (h < min_heat) continue;
+    if (!best.has_value() || h > best_heat) {  // strict >: lowest sysname wins ties
+      best = name;
+      best_heat = h;
+    }
+  }
+  return best;
+}
+
 Result<ActiveObject*> Runtime::activate(sim::Process& self, const Sysname& object) {
   auto it = active_.find(object);
   if (it != active_.end()) return &it->second;
 
   // Retrieve the object header from its data server and build the space
   // (paper §3.2: "retrieves a header for the object ..., sets up the
-  // object space and starts the thread in that space").
-  CLOUDS_TRY_ASSIGN(h, dsm_.resolvePage(self, {object, 0}, ra::Access::read));
-  CLOUDS_TRY_ASSIGN(desc, ObjectDescriptor::decode(ByteSpan(h.data, ra::kPageSize)));
-  node_.cpu().compute(self, node_.cost().object_activation);
+  // object space and starts the thread in that space"). A migrated-away
+  // object leaves a forward stub in its header page; chase it to the
+  // object's current home (bounded — a longer chain means a cycle).
+  Sysname cur = object;
+  for (int hop = 0; hop <= migrate::kMaxForwardHops; ++hop) {
+    CLOUDS_TRY_ASSIGN(h, dsm_.resolvePage(self, {cur, 0}, ra::Access::read));
+    const ByteSpan image(h.data, ra::kPageSize);
+    if (migrate::isForwardPage(image)) {
+      CLOUDS_TRY_ASSIGN(rec, migrate::ForwardRecord::decode(image));
+      ++stats_.forward_chases;
+      node_.simulation().trace(node_.name(), "objmgr",
+                               "chasing migrated object " + cur.toString() + " -> " +
+                                   rec.new_header.toString());
+      cur = rec.new_header;
+      auto hit = active_.find(cur);
+      if (hit != active_.end()) return &hit->second;
+      continue;
+    }
+    CLOUDS_TRY_ASSIGN(desc, ObjectDescriptor::decode(image));
+    node_.cpu().compute(self, node_.cost().object_activation);
 
-  ActiveObject ao;
-  ao.header = object;
-  ao.desc = desc;
-  CLOUDS_TRY(ao.space.map({kCodeBase, desc.code_size, desc.code_seg, 0, /*writable=*/false}));
-  CLOUDS_TRY(ao.space.map({kDataBase, desc.data_size, desc.data_seg, 0, true}));
-  CLOUDS_TRY(ao.space.map({kPHeapBase, desc.pheap_size, desc.pheap_seg, 0, true}));
-  ao.vheap_seg = anon_.create(desc.vheap_size);
-  CLOUDS_TRY(ao.space.map({kVHeapBase, desc.vheap_size, ao.vheap_seg, 0, true}));
-  ++stats_.activations;
-  auto [pos, inserted] = active_.emplace(object, std::move(ao));
-  (void)inserted;
-  return &pos->second;
+    ActiveObject ao;
+    ao.header = cur;
+    ao.desc = desc;
+    CLOUDS_TRY(ao.space.map({kCodeBase, desc.code_size, desc.code_seg, 0, /*writable=*/false}));
+    CLOUDS_TRY(ao.space.map({kDataBase, desc.data_size, desc.data_seg, 0, true}));
+    CLOUDS_TRY(ao.space.map({kPHeapBase, desc.pheap_size, desc.pheap_seg, 0, true}));
+    ao.vheap_seg = anon_.create(desc.vheap_size);
+    CLOUDS_TRY(ao.space.map({kVHeapBase, desc.vheap_size, ao.vheap_seg, 0, true}));
+    ++stats_.activations;
+    auto [pos, inserted] = active_.emplace(cur, std::move(ao));
+    (void)inserted;
+    return &pos->second;
+  }
+  return makeError(Errc::internal,
+                   "forward chain from " + object.toString() + " exceeds " +
+                       std::to_string(migrate::kMaxForwardHops) + " hops");
+}
+
+Result<Sysname> Runtime::chaseForward(sim::Process& self, const Sysname& object) {
+  // Fresh read of the authoritative header page. Order matters: confirm the
+  // stub FIRST — only then tear down the stale activation. (Tearing down on
+  // a transient error would discard a live object's volatile heap.)
+  dsm_.dropSegment(object);
+  CLOUDS_TRY_ASSIGN(h, dsm_.resolvePage(self, {object, 0}, ra::Access::read));
+  const ByteSpan image(h.data, ra::kPageSize);
+  if (!migrate::isForwardPage(image)) {
+    return makeError(Errc::not_found, "no forward stub behind " + object.toString());
+  }
+  CLOUDS_TRY_ASSIGN(rec, migrate::ForwardRecord::decode(image));
+  auto it = active_.find(object);
+  if (it != active_.end() && it->second.executing_threads == 0) {
+    // Stale activation of the pre-migration incarnation; its segments are
+    // gone from the source, so drop (not flush) the frames.
+    (void)deactivateObject(self, object, /*flush=*/false);
+  }
+  heat_.erase(object);
+  ++stats_.forward_chases;
+  node_.simulation().trace(node_.name(), "objmgr",
+                           "chasing migrated object " + object.toString() + " -> " +
+                               rec.new_header.toString());
+  return rec.new_header;
 }
 
 // ---------------------------------------------------------------- invoke
@@ -210,7 +304,9 @@ Result<Sysname> Runtime::resolveTarget(CloudsThread& t, const std::string& name)
 
 Result<Value> Runtime::invoke(CloudsThread& t, const Sysname& object, const std::string& entry,
                               const ValueList& args) {
+  Sysname target = object;
   Result<Value> last{Value{}};
+  int chases = 0;
   for (int attempt = 0; attempt <= kTxRetries; ++attempt) {
     if (attempt > 0) {
       ++stats_.tx_retries;
@@ -224,10 +320,25 @@ Result<Value> Runtime::invoke(CloudsThread& t, const Sysname& object, const std:
           sim::msec(1).count() +
           static_cast<std::int64_t>(node_.simulation().uniform01() * static_cast<double>(cap))));
     }
-    last = invokeOnce(t, object, entry, args);
+    last = invokeOnce(t, target, entry, args);
+    if (last.ok()) return last;
+    // A not_found mid-invocation can mean the object migrated away after we
+    // cached its activation (its old segments are gone). Confirm the header
+    // stub and retry against the re-homed object; a chase is not a
+    // transaction retry (no backoff, no attempt charged).
+    if (last.code() == Errc::not_found && chases < migrate::kMaxForwardHops &&
+        !t.scope.has_value()) {
+      auto chased = chaseForward(*t.process, target);
+      if (chased.ok()) {
+        target = chased.value();
+        ++chases;
+        --attempt;
+        continue;
+      }
+    }
     // Only retry deadlock aborts of a scope this call itself opened (an
     // inner abort propagates to the opener as an exception, never here).
-    if (last.ok() || last.code() != Errc::deadlock) return last;
+    if (last.code() != Errc::deadlock) return last;
   }
   return last;
 }
@@ -238,7 +349,25 @@ Result<Value> Runtime::invokeOnce(CloudsThread& t, const Sysname& object,
   ++stats_.invocations;
   node_.cpu().compute(self, node_.cost().syscall + node_.cost().invoke_locate);
 
-  CLOUDS_TRY_ASSIGN(ao, activate(self, object));
+  auto act = activate(self, object);
+  if (!act.ok()) return act.error();
+  ActiveObject* ao = act.value();
+  // Migration drain gate: a draining object admits no NEW local invocations
+  // (they park here until the drain ends — successfully, in which case the
+  // re-activation below chases the forward stub to the new home, or not, in
+  // which case the original activation is rebuilt). Re-entrant self-calls of
+  // an already-executing thread pass through, else draining would deadlock
+  // against its own in-flight work.
+  const bool reentrant =
+      std::find(t.call_stack.begin(), t.call_stack.end(), object) != t.call_stack.end() ||
+      std::find(t.call_stack.begin(), t.call_stack.end(), ao->header) != t.call_stack.end();
+  while (!reentrant && (draining_.count(object) != 0 || draining_.count(ao->header) != 0)) {
+    drain_gate_.wait(self);
+    // The drain deactivated the object; rebuild (or chase) the activation.
+    act = activate(self, object);
+    if (!act.ok()) return act.error();
+    ao = act.value();
+  }
   const ClassDef* def = classes_.find(ao->desc.class_name);
   if (def == nullptr) {
     return makeError(Errc::internal, "class not registered on this system: " +
@@ -256,14 +385,14 @@ Result<Value> Runtime::invokeOnce(CloudsThread& t, const Sysname& object,
     return makeError(Errc::not_found, "no entry point " + entry + " in class " + def->name);
   }
 
-  // Map the thread's stack into the object's space; on return it is
-  // remapped into the caller (we charge both sides' costs).
-  node_.cpu().compute(self, node_.cost().invoke_map_stack);
-
   const bool opened = ep->label != OpLabel::s && !t.scope.has_value();
   if (opened) t.scope = txn_.open(ep->label);
 
+  // No block point between the drain-gate check above and this increment
+  // (cooperative scheduling), so a migrator cannot slip a drain in between:
+  // from here on waitQuiesced counts this thread.
   ao->executing_threads += 1;
+  ++heat_[ao->header];
   t.call_stack.push_back(object);
   t.label_stack.push_back(ep->label);
   struct Cleanup {
@@ -274,11 +403,20 @@ Result<Value> Runtime::invokeOnce(CloudsThread& t, const Sysname& object,
     ~Cleanup() {
       // A node crash destroys every activation before the killed threads
       // unwind; ao then dangles. The epoch mismatch detects that case.
-      if (rt->activation_epoch_ == epoch) ao->executing_threads -= 1;
+      if (rt->activation_epoch_ == epoch) {
+        ao->executing_threads -= 1;
+        if (ao->executing_threads == 0 && rt->draining_.count(ao->header) != 0) {
+          rt->quiesce_gate_.notifyAll();  // the migrator may be waiting on us
+        }
+      }
       t->call_stack.pop_back();
       t->label_stack.pop_back();
     }
   } cleanup{this, ao, &t, activation_epoch_};
+
+  // Map the thread's stack into the object's space; on return it is
+  // remapped into the caller (we charge both sides' costs).
+  node_.cpu().compute(self, node_.cost().invoke_map_stack);
 
   // Demand-page the entry's working set: its code page plus the first data
   // and heap pages (the entry prologue reaches the object's static data and

@@ -14,6 +14,8 @@
 
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 
 #include "clouds/class_registry.hpp"
 #include "clouds/context.hpp"
@@ -25,6 +27,7 @@
 #include "ra/anon_partition.hpp"
 #include "ra/mmu.hpp"
 #include "ra/node.hpp"
+#include "sim/sync.hpp"
 #include "sysobj/name_server.hpp"
 #include "sysobj/user_io.hpp"
 
@@ -35,6 +38,7 @@ struct RuntimeStats {
   std::uint64_t activations = 0;
   std::uint64_t remote_invocations_served = 0;
   std::uint64_t tx_retries = 0;
+  std::uint64_t forward_chases = 0;  // migrated-object lookups that followed a stub
 };
 
 class Runtime {
@@ -57,6 +61,28 @@ class Runtime {
   // Flush and unmap an activation (used to make invocations cold again).
   Result<void> deactivateObject(sim::Process& self, const Sysname& object, bool flush = true);
   bool isActive(const Sysname& object) const { return active_.count(object) != 0; }
+
+  // ---- Migration support (the Migrator's drain / quiesce / pick hooks) ----
+  // Gate new local invocations of the object; in-flight ones (and re-entrant
+  // self-calls of a gated thread) run to completion. False if already gated.
+  bool beginDrain(const Sysname& object) { return draining_.insert(object).second; }
+  void endDrain(const Sysname& object) {
+    draining_.erase(object);
+    drain_gate_.notifyAll();  // notifyAll only: a killed waiter's entry is inert
+  }
+  bool draining(const Sysname& object) const { return draining_.count(object) != 0; }
+  // Threads currently executing inside the object's local activation.
+  int executingThreads(const Sysname& object) const;
+  // Block until the (draining) object quiesces locally; Errc::timeout if an
+  // in-flight invocation outlasts `timeout`.
+  Result<void> waitQuiesced(sim::Process& self, const Sysname& object, sim::Duration timeout);
+  // Write back + tear down the activation so the home store is
+  // authoritative; ok when the object is not active here.
+  Result<void> flushForMigration(sim::Process& self, const Sysname& object);
+  // Hottest non-draining active object with >= min_heat invocations
+  // (ordered scan: lowest sysname wins ties, deterministically).
+  std::optional<Sysname> hottestObject(std::uint64_t min_heat) const;
+  void forgetHeat(const Sysname& object) { heat_.erase(object); }
 
   // ---- Invocation ----
   Result<Value> invoke(CloudsThread& t, const Sysname& object, const std::string& entry,
@@ -108,6 +134,10 @@ class Runtime {
   Result<ActiveObject*> activate(sim::Process& self, const Sysname& object);
   Result<Value> invokeOnce(CloudsThread& t, const Sysname& object, const std::string& entry,
                            const ValueList& args);
+  // Confirm a forward stub behind `object` (fresh read of its header page)
+  // and return the re-homed sysname; Errc::not_found if no stub is there.
+  // Tears down a stale local activation of the old name as a side effect.
+  Result<Sysname> chaseForward(sim::Process& self, const Sysname& object);
   Result<Sysname> ensureClassLoaded(sim::Process& self, const ClassDef& def,
                                     net::NodeId data_server);
   void bindThreadService();
@@ -125,6 +155,15 @@ class Runtime {
   sysobj::NameClient names_;
   sysobj::IoClient io_;
   std::map<Sysname, ActiveObject> active_;
+  // Objects gated for migration, plus the gates themselves. The wait queues
+  // only ever use notifyAll: a node crash can leave killed processes'
+  // entries behind, and notifyOne could burn a wakeup on such an inert entry.
+  std::set<Sysname> draining_;
+  sim::WaitQueue drain_gate_;    // woken when an object stops draining
+  sim::WaitQueue quiesce_gate_;  // woken when a draining object's last thread leaves
+  // Per-object local invocation counts (volatile) — the migrator's notion
+  // of "hot".
+  std::map<Sysname, std::uint64_t> heat_;
   // Bumped whenever active_ is wiped wholesale (node crash); lets in-flight
   // invocation frames detect that their ActiveObject* no longer exists.
   std::uint64_t activation_epoch_ = 0;

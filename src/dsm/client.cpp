@@ -18,6 +18,7 @@ DsmClientPartition::DsmClientPartition(ra::Node& node, DsmServer* local_server,
   m_evictions_ = &metrics.counter(node_.name() + "/dsm/evictions");
   m_invalidated_ = &metrics.counter(node_.name() + "/dsm/frames_invalidated");
   m_degraded_ = &metrics.counter(node_.name() + "/dsm/frames_degraded");
+  m_remote_fetches_ = &metrics.counter(node_.name() + "/dsm/remote_fetches");
   m_fault_latency_ = &metrics.histogram(node_.name() + "/dsm/fault_latency_usec");
   bindCallbackService();
   node_.onCrashHook([this] { loseVolatileState(); });
@@ -26,7 +27,10 @@ DsmClientPartition::DsmClientPartition(ra::Node& node, DsmServer* local_server,
 
 void DsmClientPartition::loseVolatileState() {
   frames_.clear();
-  inflight_.clear();
+  // Faulting processes killed by the crash are still parked in these wait
+  // queues and unwind lazily; reset the entries in place (the queues must
+  // stay alive) instead of destroying them under the waiters.
+  for (auto& [key, inf] : inflight_) inf.busy = false;
   pinned_.clear();
 }
 
@@ -118,6 +122,8 @@ Result<PageGrant> DsmClientPartition::requestPage(sim::Process& self, const ra::
     return access == ra::Access::read ? local_server_->handleRead(self, node_.id(), key)
                                       : local_server_->handleWrite(self, node_.id(), key);
   }
+  ++remote_fetches_;
+  ++*m_remote_fetches_;
   Encoder e;
   e.u8(static_cast<std::uint8_t>(access == ra::Access::read ? Op::read_page : Op::write_page));
   encodePageKey(e, key);

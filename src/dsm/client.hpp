@@ -76,6 +76,10 @@ class DsmClientPartition : public ra::Partition {
   void loseVolatileState();
 
   std::uint64_t hitCount() const noexcept { return hits_; }
+  // Page requests that actually crossed the wire to a remote data server
+  // (local-home short-circuits and cache hits excluded) — the locality
+  // signal object migration exists to improve.
+  std::uint64_t remoteFetches() const noexcept { return remote_fetches_; }
   std::size_t residentFrames() const noexcept { return frames_.size(); }
   std::size_t frameCapacity() const noexcept { return capacity_; }
 
@@ -117,6 +121,7 @@ class DsmClientPartition : public ra::Partition {
   std::uint64_t lru_clock_ = 0;
   std::uint64_t faults_ = 0;
   std::uint64_t hits_ = 0;
+  std::uint64_t remote_fetches_ = 0;
   // Registry handles ("<node>/dsm/..."), resolved at construction.
   std::uint64_t* m_read_faults_;
   std::uint64_t* m_write_faults_;
@@ -125,6 +130,7 @@ class DsmClientPartition : public ra::Partition {
   std::uint64_t* m_evictions_;
   std::uint64_t* m_invalidated_;
   std::uint64_t* m_degraded_;
+  std::uint64_t* m_remote_fetches_;
   sim::Histogram* m_fault_latency_;
 };
 

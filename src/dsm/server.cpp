@@ -46,9 +46,31 @@ DsmServer::DsmServer(ra::Node& node, store::DiskStore& store) : node_(node), sto
 }
 
 void DsmServer::loseVolatileState() {
-  directory_.clear();
-  locks_.clear();
-  semaphores_.clear();
+  // Service handlers killed by the endpoint's crash hook unwind *lazily* (at
+  // their next resume), and their lock guards / wait-queue nodes point into
+  // these maps. Entries must therefore be reset in place, never destroyed: a
+  // reset entry is indistinguishable from a fresh one (directory_[key] and
+  // locks_[seg] default-construct on demand), and the embedded mutexes and
+  // queues stay alive for the unwinding holders to release.
+  for (auto& [key, e] : directory_) {
+    e.state = PState::uncached;
+    e.copyset.clear();
+    e.owner = net::kNoNode;
+    e.version = 0;
+  }
+  for (auto& [seg, l] : locks_) {
+    l.readers.clear();
+    l.writer = 0;
+    l.upgrade_waiter = 0;
+    l.upgrade_since = sim::kZero;
+    l.granted_at.clear();
+  }
+  // Semaphore ids do carry presence semantics (P/V on an unknown id is
+  // not_found), so dead ones are tombstoned rather than reused.
+  for (auto& [id, s] : semaphores_) {
+    s.count = 0;
+    s.live = false;
+  }
 }
 
 void DsmServer::onClientCrash(net::NodeId client) {
@@ -416,7 +438,8 @@ Result<std::uint64_t> DsmServer::handleSemCreate(sim::Process& self, std::int64_
 Result<void> DsmServer::handleSemP(sim::Process& self, std::uint64_t sem) {
   node_.cpu().compute(self, node_.cost().lock_service);
   auto it = semaphores_.find(sem);
-  if (it == semaphores_.end()) return makeError(Errc::not_found, "no such semaphore");
+  if (it == semaphores_.end() || !it->second.live)
+    return makeError(Errc::not_found, "no such semaphore");
   SemEntry& s = it->second;
   const sim::TimePoint deadline = node_.simulation().now() + kSemWaitCap;
   while (s.count <= 0) {
@@ -431,7 +454,8 @@ Result<void> DsmServer::handleSemP(sim::Process& self, std::uint64_t sem) {
 Result<void> DsmServer::handleSemV(sim::Process& self, std::uint64_t sem) {
   node_.cpu().compute(self, node_.cost().lock_service);
   auto it = semaphores_.find(sem);
-  if (it == semaphores_.end()) return makeError(Errc::not_found, "no such semaphore");
+  if (it == semaphores_.end() || !it->second.live)
+    return makeError(Errc::not_found, "no such semaphore");
   ++it->second.count;
   it->second.queue.notifyOne();
   return okResult();

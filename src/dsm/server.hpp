@@ -108,6 +108,7 @@ class DsmServer {
   };
   struct SemEntry {
     std::int64_t count = 0;
+    bool live = true;  // false after a crash: the id answers not_found
     sim::WaitQueue queue;
   };
 

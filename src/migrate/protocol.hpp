@@ -1,0 +1,59 @@
+// Wire/durable records of the migration protocol.
+//
+// The commit point of a migration is a single 2PC-logged page write: the old
+// header's page 0 is flipped from an ObjectDescriptor to a ForwardRecord
+// naming the new header. The record therefore crosses the wire (inside the
+// tx_prepare) and then lives durably in the source store as a tombstone that
+// late raw-sysname holders chase. Its magic differs from the descriptor
+// magic (0xC10D0B1E) so a reader can always tell which of the two a header
+// page holds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "ra/types.hpp"
+
+namespace clouds::migrate {
+
+inline constexpr std::uint32_t kForwardMagic = 0xC10DF06DU;
+inline constexpr std::uint8_t kForwardVersion = 1;
+// A Clouds object ships at most header+data+pheap; the cap bounds decode
+// work on hostile/corrupt pages.
+inline constexpr std::size_t kMaxMoves = 8;
+inline constexpr std::size_t kMaxClassName = 256;
+inline constexpr std::uint64_t kMaxSegmentLength = 1ULL << 40;
+// Forward chains grow one link per re-migration; chasing more hops than
+// this means a cycle or corruption.
+inline constexpr int kMaxForwardHops = 8;
+
+// One shipped segment: `from` (homed on the source) was replaced by `to`
+// (freshly minted on the target, since a sysname embeds its home).
+struct SegmentMove {
+  Sysname from;
+  Sysname to;
+  std::uint64_t length = 0;
+
+  friend bool operator==(const SegmentMove&, const SegmentMove&) = default;
+};
+
+struct ForwardRecord {
+  std::uint64_t generation = 0;  // MigrationFsm generation of the handoff
+  Sysname new_header;
+  std::string class_name;
+  std::vector<SegmentMove> moves;
+
+  friend bool operator==(const ForwardRecord&, const ForwardRecord&) = default;
+
+  Bytes encode() const;
+  // encode() zero-padded to exactly ra::kPageSize (the header-page image the
+  // 2PC flip installs).
+  Bytes encodePage() const;
+  static Result<ForwardRecord> decode(ByteSpan bytes);
+};
+
+// Cheap discriminator: does this header page hold a forward record?
+bool isForwardPage(ByteSpan page);
+
+}  // namespace clouds::migrate

@@ -1,0 +1,93 @@
+// Migration state machine (the tentpole of the migration subsystem).
+//
+// A Migrator moves exactly one object at a time through
+//
+//     idle -> draining -> shipping -> committing -> adopted -> idle
+//
+// with an abort edge from each of the three in-flight states to `aborted`
+// (then back to idle via reset). The FSM is pure bookkeeping — no I/O — so
+// every transition is directly unit-testable; the Migrator drives it and a
+// node crash force-resets it (protocol state is volatile; the durable
+// outcome is decided solely by the old header page, see docs/MIGRATION.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace clouds::migrate {
+
+enum class State : std::uint8_t { idle, draining, shipping, committing, adopted, aborted };
+
+inline const char* stateName(State s) noexcept {
+  switch (s) {
+    case State::idle:
+      return "idle";
+    case State::draining:
+      return "draining";
+    case State::shipping:
+      return "shipping";
+    case State::committing:
+      return "committing";
+    case State::adopted:
+      return "adopted";
+    case State::aborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+class MigrationFsm {
+ public:
+  using Observer = std::function<void(State)>;
+
+  State state() const noexcept { return state_; }
+  // Monotone per-begin counter; stamps forward records so observers can
+  // correlate a handoff with the attempt that produced it.
+  std::uint64_t generation() const noexcept { return generation_; }
+  void onTransition(Observer fn) { observer_ = std::move(fn); }
+
+  // idle -> draining. The only transition that claims the machine.
+  bool begin() {
+    if (state_ != State::idle) return false;
+    ++generation_;
+    set(State::draining);
+    return true;
+  }
+  bool drained() { return advance(State::draining, State::shipping); }
+  bool shipped() { return advance(State::shipping, State::committing); }
+  bool committed() { return advance(State::committing, State::adopted); }
+  bool finish() { return advance(State::adopted, State::idle); }
+
+  // Any in-flight state -> aborted. `adopted` cannot abort: the ownership
+  // flip is already durable, so the only way forward is finish().
+  bool abort() {
+    if (state_ != State::draining && state_ != State::shipping &&
+        state_ != State::committing) {
+      return false;
+    }
+    set(State::aborted);
+    return true;
+  }
+  bool reset() { return advance(State::aborted, State::idle); }
+
+  // Node crash: volatile protocol state evaporates without ceremony (the
+  // observer is not called — the observer's world is gone too).
+  void forceIdle() noexcept { state_ = State::idle; }
+
+ private:
+  bool advance(State from, State to) {
+    if (state_ != from) return false;
+    set(to);
+    return true;
+  }
+  void set(State s) {
+    state_ = s;
+    if (observer_) observer_(s);
+  }
+
+  State state_ = State::idle;
+  std::uint64_t generation_ = 0;
+  Observer observer_;
+};
+
+}  // namespace clouds::migrate

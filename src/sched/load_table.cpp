@@ -39,6 +39,24 @@ std::size_t LoadTable::evictSilent(sim::TimePoint now) {
   return evicted;
 }
 
+std::optional<net::NodeId> LoadTable::coldestPeerBelow(
+    std::uint64_t low_watermark, sim::TimePoint now,
+    const std::function<bool(net::NodeId)>& eligible) const {
+  std::optional<net::NodeId> best;
+  std::uint64_t best_load = 0;
+  for (const auto& [node, e] : entries_) {
+    if (e.self || stale(e, now)) continue;
+    if (eligible && !eligible(node)) continue;
+    const std::uint64_t load = e.effectiveLoad();
+    if (load > low_watermark) continue;
+    if (!best.has_value() || load < best_load) {
+      best = node;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
 const LoadTable::Entry* LoadTable::find(net::NodeId node) const {
   auto it = entries_.find(node);
   return it == entries_.end() ? nullptr : &it->second;

@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "sched/report.hpp"
@@ -62,6 +64,16 @@ class LoadTable {
   }
 
   const Entry* find(net::NodeId node) const;
+
+  // The least-loaded *fresh* peer at or below `low_watermark` effective
+  // load, lowest id on ties (entries_ is ordered, so deterministic).
+  // Migration's pull side: nullopt means nobody credibly has slack. The
+  // optional `eligible` predicate lets the caller veto peers it knows more
+  // about than gossip does (e.g. a peer it shipped an object to moments
+  // ago, whose report does not show that load yet).
+  std::optional<net::NodeId> coldestPeerBelow(
+      std::uint64_t low_watermark, sim::TimePoint now,
+      const std::function<bool(net::NodeId)>& eligible = {}) const;
   const std::map<net::NodeId, Entry>& entries() const noexcept { return entries_; }
   const Aging& aging() const noexcept { return aging_; }
   std::uint64_t staleEvictions() const noexcept { return stale_evictions_; }

@@ -3,7 +3,15 @@
 namespace clouds::sysobj {
 
 namespace {
-enum class NameOp : std::uint8_t { bind = 50, lookup = 51, unbind = 52, list = 53 };
+enum class NameOp : std::uint8_t { bind = 50, lookup = 51, unbind = 52, list = 53, forward = 54 };
+
+// A forward chain grows one link per re-migration of the same object; more
+// hops than this means a cycle.
+constexpr int kMaxForwardChain = 8;
+
+// Name-snapshot magics: v1 = bindings only, v2 adds the forwards section.
+constexpr std::uint32_t kSnapshotMagicV1 = 0xC10D7A3Eu;
+constexpr std::uint32_t kSnapshotMagicV2 = 0xC10D7A3Fu;
 
 void encodeStatus(Encoder& e, Errc c) { e.u8(static_cast<std::uint8_t>(c)); }
 
@@ -16,6 +24,9 @@ Result<void> decodeStatus(Decoder& d, const char* what) {
 }  // namespace
 
 NameServer::NameServer(ra::Node& node) : node_(node) {
+  sim::MetricsRegistry& metrics = node_.simulation().metrics();
+  m_forwards_installed_ = &metrics.counter(node_.name() + "/names/forwards_installed");
+  m_forwards_collapsed_ = &metrics.counter(node_.name() + "/names/forwards_collapsed");
   node_.ratp().bindService(net::kPortNaming,
                            [this](sim::Process& self, net::NodeId, const Bytes& request) {
                              return serve(self, request);
@@ -33,10 +44,44 @@ Result<void> NameServer::bind(const std::string& name, Binding binding, bool rep
   return okResult();
 }
 
-Result<Binding> NameServer::lookup(const std::string& name) const {
+Result<Binding> NameServer::lookup(const std::string& name) {
   auto it = bindings_.find(name);
   if (it == bindings_.end()) return makeError(Errc::not_found, "unbound name: " + name);
+  // Chase forwarding entries left by migrations. Each consumed link is
+  // erased and the binding rewritten in place: the *next* lookup takes the
+  // fast path with no forwarding state left behind.
+  for (Sysname& s : it->second.sysnames) {
+    CLOUDS_TRY_ASSIGN(resolved, chaseForwards(s));
+    s = resolved;
+  }
   return it->second;
+}
+
+Result<Sysname> NameServer::chaseForwards(const Sysname& s) {
+  Sysname cur = s;
+  for (int hop = 0; hop <= kMaxForwardChain; ++hop) {
+    auto f = forwards_.find(cur);
+    if (f == forwards_.end()) return cur;
+    const Sysname next = f->second;
+    forwards_.erase(f);
+    ++forwards_collapsed_;
+    ++*m_forwards_collapsed_;
+    cur = next;
+  }
+  return makeError(Errc::internal, "forward chain from " + s.toString() + " exceeds " +
+                                       std::to_string(kMaxForwardChain) + " hops");
+}
+
+Result<void> NameServer::addForward(const Sysname& from, const Sysname& to) {
+  if (from == Sysname() || to == Sysname() || from == to) {
+    return makeError(Errc::bad_argument, "bad forward " + from.toString() + " -> " + to.toString());
+  }
+  // Overwrite is legal: a re-migration of a not-yet-looked-up object simply
+  // repoints the stale entry (the durable header stubs still chain).
+  forwards_[from] = to;
+  ++forwards_installed_;
+  ++*m_forwards_installed_;
+  return okResult();
 }
 
 Result<void> NameServer::unbind(const std::string& name) {
@@ -53,12 +98,17 @@ std::vector<std::string> NameServer::list() const {
 
 Result<void> NameServer::saveTo(const std::string& path) const {
   Encoder e;
-  e.u32(0xC10D7A3Eu);  // magic
+  e.u32(kSnapshotMagicV2);
   e.u32(static_cast<std::uint32_t>(bindings_.size()));
   for (const auto& [name, binding] : bindings_) {
     e.str(name);
     e.u32(static_cast<std::uint32_t>(binding.sysnames.size()));
     for (const Sysname& s : binding.sysnames) e.sysname(s);
+  }
+  e.u32(static_cast<std::uint32_t>(forwards_.size()));
+  for (const auto& [from, to] : forwards_) {
+    e.sysname(from);
+    e.sysname(to);
   }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return makeError(Errc::io, "cannot open " + path);
@@ -78,7 +128,9 @@ Result<void> NameServer::loadFrom(const std::string& path) {
   std::fclose(f);
   Decoder d(buf);
   CLOUDS_TRY_ASSIGN(magic, d.u32());
-  if (magic != 0xC10D7A3Eu) return makeError(Errc::io, "bad name snapshot in " + path);
+  if (magic != kSnapshotMagicV1 && magic != kSnapshotMagicV2) {
+    return makeError(Errc::io, "bad name snapshot in " + path);
+  }
   CLOUDS_TRY_ASSIGN(count, d.u32());
   std::map<std::string, Binding> loaded;
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -91,7 +143,17 @@ Result<void> NameServer::loadFrom(const std::string& path) {
     }
     loaded.emplace(std::move(name), std::move(b));
   }
+  std::map<Sysname, Sysname> fwd_loaded;
+  if (magic == kSnapshotMagicV2) {
+    CLOUDS_TRY_ASSIGN(fwds, d.u32());
+    for (std::uint32_t i = 0; i < fwds; ++i) {
+      CLOUDS_TRY_ASSIGN(from, d.sysname());
+      CLOUDS_TRY_ASSIGN(to, d.sysname());
+      fwd_loaded.emplace(from, to);
+    }
+  }
   bindings_ = std::move(loaded);
+  forwards_ = std::move(fwd_loaded);
   return okResult();
 }
 
@@ -160,6 +222,16 @@ Bytes NameServer::serve(sim::Process& self, const Bytes& request) {
       for (const auto& n : names) reply.str(n);
       break;
     }
+    case NameOp::forward: {
+      auto from = d.sysname();
+      auto to = d.sysname();
+      if (!from.ok() || !to.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      encodeStatus(reply, addForward(from.value(), to.value()).code());
+      break;
+    }
     default:
       encodeStatus(reply, Errc::bad_argument);
   }
@@ -207,6 +279,17 @@ Result<void> NameClient::unbind(sim::Process& self, const std::string& name) {
                                                  std::move(e).take()));
   Decoder d(reply);
   return decodeStatus(d, "unbind");
+}
+
+Result<void> NameClient::forward(sim::Process& self, const Sysname& from, const Sysname& to) {
+  Encoder e;
+  e.u8(54);
+  e.sysname(from);
+  e.sysname(to);
+  CLOUDS_TRY_ASSIGN(reply, node_.ratp().transact(self, server_, net::kPortNaming,
+                                                 std::move(e).take()));
+  Decoder d(reply);
+  return decodeStatus(d, "forward");
 }
 
 Result<std::vector<std::string>> NameClient::list(sim::Process& self) {

@@ -27,9 +27,20 @@ class NameServer {
 
   // Direct (local) access for tests and bootstrap.
   Result<void> bind(const std::string& name, Binding binding, bool replace = false);
-  Result<Binding> lookup(const std::string& name) const;
+  // Non-const: resolving a name chases (and collapses) forwarding entries.
+  Result<Binding> lookup(const std::string& name);
   Result<void> unbind(const std::string& name);
   std::vector<std::string> list() const;
+
+  // Migration forwarding: sysname `from` has been re-homed as `to`. The
+  // next lookup that resolves to `from` is rewritten to `to` and the entry
+  // is consumed ("resolve exactly once, then collapse" — the binding itself
+  // becomes the fast path afterwards). Re-migrations chain; chains longer
+  // than kMaxForwardChain indicate a cycle and fail the lookup.
+  Result<void> addForward(const Sysname& from, const Sysname& to);
+  std::size_t forwardCount() const noexcept { return forwards_.size(); }
+  std::uint64_t forwardsInstalled() const noexcept { return forwards_installed_; }
+  std::uint64_t forwardsCollapsed() const noexcept { return forwards_collapsed_; }
 
   // Snapshot the name map to / from a host file (the prototype stored its
   // durable state "in Unix files"; the cluster façade snapshots names
@@ -41,9 +52,16 @@ class NameServer {
 
  private:
   Bytes serve(sim::Process& self, const Bytes& request);
+  // Follow the forward chain from `s`, consuming every link walked.
+  Result<Sysname> chaseForwards(const Sysname& s);
 
   ra::Node& node_;
   std::map<std::string, Binding> bindings_;
+  std::map<Sysname, Sysname> forwards_;  // old sysname -> re-homed sysname
+  std::uint64_t forwards_installed_ = 0;
+  std::uint64_t forwards_collapsed_ = 0;
+  std::uint64_t* m_forwards_installed_;
+  std::uint64_t* m_forwards_collapsed_;
 };
 
 // Client stub usable from any node.
@@ -56,6 +74,8 @@ class NameClient {
   Result<Binding> lookup(sim::Process& self, const std::string& name);
   Result<void> unbind(sim::Process& self, const std::string& name);
   Result<std::vector<std::string>> list(sim::Process& self);
+  // Install a migration forwarding entry (old sysname -> new sysname).
+  Result<void> forward(sim::Process& self, const Sysname& from, const Sysname& to);
 
   net::NodeId serverNode() const noexcept { return server_; }
 

@@ -83,6 +83,64 @@ TEST(Determinism, MetricsUnaffectedByTraceStorageMode) {
   EXPECT_EQ(lean.placements, full.placements);
 }
 
+// Live migration joins the deterministic universe: a daemon-driven handoff
+// under skewed load must replay its protocol transcript — every state
+// transition, begin, and commit line — byte for byte across same-seed runs.
+struct MigrationRunResult {
+  std::uint64_t digest = 0;
+  std::string metrics_json;
+  std::string events;  // concatenated per-node migration transcripts
+  std::uint64_t committed = 0;
+  std::int64_t probe = -1;
+};
+
+MigrationRunResult runMigrationWorkload(std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.compute_servers = 0;
+  cfg.data_servers = 0;
+  cfg.combined_servers = 2;
+  cfg.workstations = 0;
+  cfg.seed = seed;
+  cfg.sched.gossip_interval = sim::msec(10);
+  cfg.migrate.enabled = true;
+  cfg.migrate.interval = sim::msec(20);
+  cfg.migrate.cooldown = sim::msec(50);
+  cfg.migrate.high_watermark = 3;
+  cfg.migrate.low_watermark = 1;
+  cfg.migrate.min_heat = 1;
+  Cluster cluster(cfg);
+  obj::samples::registerAll(cluster.classes());
+
+  const auto sys = cluster.create("counter", "H", /*data_idx=*/0, /*compute_idx=*/0);
+  EXPECT_TRUE(sys.ok());
+  std::vector<std::shared_ptr<obj::Runtime::ThreadHandle>> handles;
+  for (int i = 0; i < 8; ++i) handles.push_back(cluster.start("H", "add", {1}, 0));
+  cluster.run();
+
+  MigrationRunResult out;
+  out.probe = cluster.call("H", "value", {}, 1).value().asInt().valueOr(-1);
+  out.events = cluster.migrationEvents();
+  out.committed = cluster.stats().migrations_committed;
+  out.digest = cluster.sim().tracer().digest();
+  out.metrics_json = cluster.sim().metrics().toJson();
+  return out;
+}
+
+TEST(Determinism, MigrationEventSequenceReplaysExactly) {
+  const MigrationRunResult a = runMigrationWorkload(20260808);
+  const MigrationRunResult b = runMigrationWorkload(20260808);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.probe, b.probe);
+  // The workload is not vacuous: pressure produced at least one handoff,
+  // with a transcript that walked the protocol states.
+  EXPECT_GE(a.committed, 1u);
+  EXPECT_NE(a.events.find("state draining"), std::string::npos);
+  EXPECT_NE(a.events.find("committed"), std::string::npos);
+}
+
 TEST(Determinism, DifferentSeedDivergesButStaysCorrect) {
   const RunResult a = runWorkload(1);
   const RunResult b = runWorkload(2);

@@ -424,9 +424,24 @@ Result<Value> Runtime::invokeOnce(CloudsThread& t, const Sysname& object,
   // hot ones hit the frame cache for free.
   {
     std::byte probe[8];
-    CLOUDS_TRY(mmu_.read(self, ao->space, kCodeBase, probe));
-    CLOUDS_TRY(mmu_.read(self, ao->space, kDataBase, probe));
-    CLOUDS_TRY(mmu_.read(self, ao->space, kPHeapBase, probe));
+    auto paged = [&]() -> Result<void> {
+      CLOUDS_TRY(mmu_.read(self, ao->space, kCodeBase, probe));
+      CLOUDS_TRY(mmu_.read(self, ao->space, kDataBase, probe));
+      CLOUDS_TRY(mmu_.read(self, ao->space, kPHeapBase, probe));
+      return okResult();
+    }();
+    if (!paged.ok()) {
+      // A failed probe (typically not_found: the object migrated away while
+      // its activation was cached and the old segments are gone) must not
+      // leak the scope this call just opened — a zombie scope would hold
+      // locks until lease expiry and permanently disarm invoke()'s forward
+      // chase, which is gated on !t.scope.
+      if (opened) {
+        (void)txn_.close(self, *t.scope, /*abort=*/true);
+        t.scope.reset();
+      }
+      return paged.error();
+    }
   }
   node_.cpu().compute(self, node_.cost().invoke_entry);
 

@@ -197,6 +197,36 @@ Result<Sysname> Migrator::migrateObject(sim::Process& self, const Sysname& heade
       if (!r.ok()) return fail(r.error());
       locked = true;
     }
+    // The descriptor above was read BEFORE the locks were granted. Gossip
+    // views diverge under staleness, so a rival migrator on another node can
+    // pass the hottest-in-view guard too, commit its flip while we block in
+    // the lock queue, and leave us holding a stale descriptor — proceeding
+    // would re-ship dead segments and overwrite its durable ForwardRecord,
+    // splitting ownership. Re-probe the header under the locks and abort
+    // unless it still shows the exact pre-flip descriptor we locked.
+    {
+      dsm_.dropSegment(header);
+      auto page = dsm_.resolvePage(self, {header, 0}, ra::Access::read);
+      if (!page.ok()) {
+        if (page.error().code == Errc::not_found && hooks_.forget_heat) {
+          hooks_.forget_heat(header);
+        }
+        return fail(page.error());
+      }
+      ByteSpan image(page.value().data, ra::kPageSize);
+      if (isForwardPage(image)) {
+        if (hooks_.forget_heat) hooks_.forget_heat(header);
+        return fail(makeError(Errc::already_exists,
+                              "object migrated away while awaiting segment locks"));
+      }
+      auto relook = obj::ObjectDescriptor::decode(image);
+      if (!relook.ok()) return fail(relook.error());
+      if (relook.value().data_seg != desc.data_seg ||
+          relook.value().pheap_seg != desc.pheap_seg) {
+        return fail(makeError(Errc::busy,
+                              "object descriptor changed while awaiting segment locks"));
+      }
+    }
     // Flush + tear down the local activation so the source store holds the
     // object's authoritative bytes.
     {
@@ -251,8 +281,10 @@ Result<Sysname> Migrator::migrateObject(sim::Process& self, const Sysname& heade
     rec.new_header = nh;
     rec.class_name = desc.class_name;
     rec.moves = {{desc.data_seg, nd, desc.data_size}, {desc.pheap_seg, np, desc.pheap_size}};
+    auto page_image = rec.encodePage();
+    if (!page_image.ok()) return fail(page_image.error());
     {
-      auto r = sendPrepare(self, source, tx, {header, 0}, rec.encodePage());
+      auto r = sendPrepare(self, source, tx, {header, 0}, page_image.value());
       if (!r.ok()) {
         // The source may have logged the prepare though its reply was lost;
         // fail() sends the abort decision to resolve the in-doubt entry.

@@ -48,8 +48,10 @@ struct ForwardRecord {
 
   Bytes encode() const;
   // encode() zero-padded to exactly ra::kPageSize (the header-page image the
-  // 2PC flip installs).
-  Bytes encodePage() const;
+  // 2PC flip installs). Fails rather than truncate if the record (overlong
+  // class name, too many moves) would not fit in one page — a truncated
+  // tombstone would become the object's permanent, corrupt forwarding state.
+  Result<Bytes> encodePage() const;
   static Result<ForwardRecord> decode(ByteSpan bytes);
 };
 

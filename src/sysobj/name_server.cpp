@@ -47,26 +47,37 @@ Result<void> NameServer::bind(const std::string& name, Binding binding, bool rep
 Result<Binding> NameServer::lookup(const std::string& name) {
   auto it = bindings_.find(name);
   if (it == bindings_.end()) return makeError(Errc::not_found, "unbound name: " + name);
-  // Chase forwarding entries left by migrations. Each consumed link is
-  // erased and the binding rewritten in place: the *next* lookup takes the
-  // fast path with no forwarding state left behind.
-  for (Sysname& s : it->second.sysnames) {
-    CLOUDS_TRY_ASSIGN(resolved, chaseForwards(s));
-    s = resolved;
+  // Chase forwarding entries left by migrations. The chase is read-only;
+  // only after every sysname of the binding resolves do we erase the
+  // consumed links and rewrite the binding in place, so a failed lookup
+  // (overlong chain on any replica) mutates nothing and the *next*
+  // successful lookup still takes the fast path with no forwarding state
+  // left behind.
+  std::vector<Sysname> resolved;
+  std::vector<Sysname> consumed;
+  resolved.reserve(it->second.sysnames.size());
+  for (const Sysname& s : it->second.sysnames) {
+    CLOUDS_TRY_ASSIGN(r, chaseForwards(s, consumed));
+    resolved.push_back(r);
   }
+  for (const Sysname& link : consumed) {
+    if (forwards_.erase(link) != 0) {
+      ++forwards_collapsed_;
+      ++*m_forwards_collapsed_;
+    }
+  }
+  it->second.sysnames = std::move(resolved);
   return it->second;
 }
 
-Result<Sysname> NameServer::chaseForwards(const Sysname& s) {
+Result<Sysname> NameServer::chaseForwards(const Sysname& s,
+                                          std::vector<Sysname>& consumed) const {
   Sysname cur = s;
   for (int hop = 0; hop <= kMaxForwardChain; ++hop) {
     auto f = forwards_.find(cur);
     if (f == forwards_.end()) return cur;
-    const Sysname next = f->second;
-    forwards_.erase(f);
-    ++forwards_collapsed_;
-    ++*m_forwards_collapsed_;
-    cur = next;
+    consumed.push_back(cur);
+    cur = f->second;
   }
   return makeError(Errc::internal, "forward chain from " + s.toString() + " exceeds " +
                                        std::to_string(kMaxForwardChain) + " hops");

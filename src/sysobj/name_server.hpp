@@ -52,8 +52,11 @@ class NameServer {
 
  private:
   Bytes serve(sim::Process& self, const Bytes& request);
-  // Follow the forward chain from `s`, consuming every link walked.
-  Result<Sysname> chaseForwards(const Sysname& s);
+  // Follow the forward chain from `s` without mutating the table, appending
+  // every link walked to `consumed`. The caller erases the consumed links
+  // only once the whole lookup succeeds, so a failed resolve leaves the
+  // server state untouched and a retry resolves identically.
+  Result<Sysname> chaseForwards(const Sysname& s, std::vector<Sysname>& consumed) const;
 
   ra::Node& node_;
   std::map<std::string, Binding> bindings_;

@@ -79,8 +79,12 @@ TEST(MigrationFsm, AbortEdgesFromEveryInFlightState) {
   for (int depth = 0; depth < 3; ++depth) {  // draining, shipping, committing
     migrate::MigrationFsm fsm;
     ASSERT_TRUE(fsm.begin());
-    if (depth >= 1) ASSERT_TRUE(fsm.drained());
-    if (depth >= 2) ASSERT_TRUE(fsm.shipped());
+    if (depth >= 1) {
+      ASSERT_TRUE(fsm.drained());
+    }
+    if (depth >= 2) {
+      ASSERT_TRUE(fsm.shipped());
+    }
     EXPECT_TRUE(fsm.abort());
     EXPECT_EQ(fsm.state(), migrate::State::aborted);
     // Aborted accepts only reset.
@@ -137,12 +141,26 @@ TEST(ForwardRecord, CodecRoundTripAndPageImage) {
 
   // The durable header image is exactly one page and still decodes (the
   // padding is part of the page, not the record).
-  const Bytes page = rec.encodePage();
+  auto page_r = rec.encodePage();
+  ASSERT_TRUE(page_r.ok());
+  const Bytes page = std::move(page_r).value();
   ASSERT_EQ(page.size(), ra::kPageSize);
   EXPECT_TRUE(migrate::isForwardPage(page));
   auto from_page = migrate::ForwardRecord::decode(page);
   ASSERT_TRUE(from_page.ok());
   EXPECT_EQ(from_page.value(), rec);
+}
+
+TEST(ForwardRecord, EncodePageRefusesOversizedRecords) {
+  // A record that cannot fit one page must fail loudly, never truncate: the
+  // page image becomes the object's permanent durable tombstone.
+  migrate::ForwardRecord rec = sampleRecord();
+  rec.class_name.assign(migrate::kMaxClassName + 1, 'x');
+  EXPECT_FALSE(rec.encodePage().ok());
+
+  migrate::ForwardRecord crowded = sampleRecord();
+  crowded.moves.resize(migrate::kMaxMoves + 1, crowded.moves.front());
+  EXPECT_FALSE(crowded.encodePage().ok());
 }
 
 TEST(ForwardRecord, DiscriminatorRejectsNonForwardPages) {
@@ -390,6 +408,57 @@ TEST(Migration, RawOldSysnameChasesTheForwardStub) {
   ASSERT_TRUE(c.callObject(old_sys.value(), "add", {2}, 1).ok());
   EXPECT_EQ(c.callObject(old_sys.value(), "value", {}, 0).value(), Value{7});
   EXPECT_GE(c.stats().forward_chases, 1u);
+}
+
+TEST(Migration, CachedActivationChasesAfterMigrationWithoutLeakingScope) {
+  // Regression: node 2 caches an activation, the object then migrates 0 -> 1
+  // behind its back, and node 2's frame cache has since evicted the payload
+  // frames. A scope-opening (non-s) entry then demand-pages the destroyed
+  // old segments and fails with not_found; that failure must close the
+  // freshly opened scope — a leaked scope would both hold locks until lease
+  // expiry and permanently disarm invoke()'s forward chase (gated on
+  // !t.scope), turning every later invocation from this node into not_found.
+  ClusterConfig cfg;
+  cfg.compute_servers = 0;
+  cfg.data_servers = 0;
+  cfg.combined_servers = 3;
+  cfg.workstations = 0;
+  Cluster c(cfg);
+  obj::samples::registerAll(c.classes());
+  const auto old_sys = c.create("counter", "C", /*data_idx=*/0, /*compute_idx=*/0);
+  ASSERT_TRUE(old_sys.ok());
+  // Warm node 2's activation while the object still lives on node 0, and
+  // remember the pre-migration payload segments.
+  ASSERT_TRUE(c.callObject(old_sys.value(), "add_gcp", {5}, /*compute_idx=*/2).ok());
+  ASSERT_TRUE(c.runtime(2).isActive(old_sys.value()));
+  obj::ObjectDescriptor desc;
+  bool probed = false;
+  c.runtime(2).spawnThread("probe", [&](obj::CloudsThread& t) {
+    auto page = c.dsmClient(2).resolvePage(*t.process, {old_sys.value(), 0}, ra::Access::read);
+    if (!page.ok()) return;
+    auto d = obj::ObjectDescriptor::decode(ByteSpan(page.value().data, ra::kPageSize));
+    if (!d.ok()) return;
+    desc = d.value();
+    probed = true;
+  });
+  c.run();
+  ASSERT_TRUE(probed);
+
+  ASSERT_TRUE(c.migrateObjectSync(0, old_sys.value(), 1).ok());
+
+  // Model cache pressure: node 2 loses its frames for the (now destroyed)
+  // old segments but keeps the stale activation itself.
+  c.dsmClient(2).dropSegment(old_sys.value());
+  c.dsmClient(2).dropSegment(desc.data_seg);
+  c.dsmClient(2).dropSegment(desc.pheap_seg);
+  ASSERT_TRUE(c.runtime(2).isActive(old_sys.value()));
+
+  // The stale activation must chase, and keep chasing on repeat writes.
+  ASSERT_TRUE(c.callObject(old_sys.value(), "add_gcp", {2}, 2).ok());
+  EXPECT_EQ(c.callObject(old_sys.value(), "value", {}, 2).value(), Value{7});
+  ASSERT_TRUE(c.callObject(old_sys.value(), "add_gcp", {1}, 2).ok());
+  EXPECT_EQ(c.callObject(old_sys.value(), "value", {}, 2).value(), Value{8});
+  EXPECT_GE(c.runtime(2).stats().forward_chases, 1u);
 }
 
 TEST(Migration, NameServerForwardResolvesExactlyOnceThenCollapses) {

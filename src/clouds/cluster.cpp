@@ -115,7 +115,9 @@ net::NodeId Cluster::dataHomeOf(net::NodeId compute) const {
 }
 
 Cluster::Cluster(ClusterConfig config)
-    : config_(config), sim_(config.seed), ether_(sim_, config_.cost) {
+    : config_(config),
+      sim_(sim::SimConfig{.seed = config.seed, .engine = config.engine}),
+      ether_(sim_, config_.cost) {
   if (config_.compute_servers + config_.combined_servers < 1 ||
       config_.data_servers + config_.combined_servers < 1) {
     throw std::invalid_argument("cluster needs at least one compute and one data role");

@@ -39,6 +39,11 @@ struct ClusterConfig {
   int combined_servers = 0;  // compute + data on one machine
   int workstations = 1;
   std::uint64_t seed = 42;
+  // Context-switch engine for the simulation core (docs/SIMCORE.md). The
+  // fiber default is >=10x faster; `threads` is the reference engine kept
+  // so tests can prove the universes are byte-identical
+  // (tests/sim_engine_equivalence_test.cpp).
+  sim::Engine engine = sim::Engine::fibers;
   sim::CostModel cost;
   std::size_t frame_capacity = 2048;   // DSM frames per compute server
   std::size_t store_cache_pages = 256; // buffer cache per data server

@@ -11,8 +11,13 @@ namespace clouds::sim {
 
 Process::Process(Simulation& sim, std::uint64_t id, std::string name,
                  std::function<void(Process&)> body)
-    : sim_(sim), id_(id), name_(std::move(name)) {
-  thread_ = std::thread([this, body = std::move(body)]() mutable { trampoline(std::move(body)); });
+    : sim_(sim), id_(id), name_(std::move(name)), engine_(sim.config().engine),
+      body_(std::move(body)) {
+  if (engine_ == Engine::threads) {
+    thread_ = std::thread([this] { threadMain(); });
+  }
+  // Fibers allocate their stack lazily in resumeNow(): a spawn wave only
+  // pays for processes that actually start running.
 }
 
 Process::~Process() {
@@ -20,17 +25,28 @@ Process::~Process() {
     kill();
     resumeNow();
   }
-  joinThread();
+  reap();
 }
 
-void Process::trampoline(std::function<void(Process&)> body) {
+void Process::threadMain() {
   {
     std::unique_lock lk(mu_);
     cv_.wait(lk, [&] { return state_ == State::running; });
   }
+  runBody();
+  // yield(State::done) returned: the thread exits and the scheduler reaps.
+}
+
+void Process::fiberMain() {
+  runBody();
+  // Unreachable: yield(State::done) exits the fiber permanently.
+  std::abort();
+}
+
+void Process::runBody() {
   if (!killed_) {
     try {
-      body(*this);
+      body_(*this);
     } catch (const ProcessKilled&) {
       // Normal teardown path: node crash or simulation shutdown.
     } catch (const std::exception& e) {
@@ -41,17 +57,24 @@ void Process::trampoline(std::function<void(Process&)> body) {
       std::abort();
     }
   }
+  body_ = nullptr;  // drop captured handles before announcing done
   yield(State::done);
 }
 
 void Process::yield(State next) {
   assert(next == State::blocked || next == State::done);
-  std::unique_lock lk(mu_);
-  state_ = next;
-  cv_.notify_all();
-  if (next == State::done) return;  // thread is about to exit; scheduler reaps it
-  cv_.wait(lk, [&] { return state_ == State::running; });
-  lk.unlock();
+  if (engine_ == Engine::threads) {
+    std::unique_lock lk(mu_);
+    state_ = next;
+    cv_.notify_all();
+    if (next == State::done) return;  // thread is about to exit; scheduler reaps it
+    cv_.wait(lk, [&] { return state_ == State::running; });
+    lk.unlock();
+  } else {
+    state_ = next;
+    if (next == State::done) fiber_->exitTo(sim_.sched_ctx_);  // never returns
+    fiber_->switchTo(sim_.sched_ctx_);
+  }
   throwIfKilled();
 }
 
@@ -66,13 +89,22 @@ void Process::throwIfKilled() {
 void Process::resumeNow() {
   assert(state_ != State::running);
   if (done()) return;
-  {
+  ++*sim_.process_resumes_;
+  if (engine_ == Engine::threads) {
     std::unique_lock lk(mu_);
     state_ = State::running;
     cv_.notify_all();
     cv_.wait(lk, [&] { return state_ != State::running; });
+  } else {
+    if (!fiber_) {
+      fiber_ = std::make_unique<Fiber>(
+          sim_.config().fiber_stack_bytes,
+          [](void* self) { static_cast<Process*>(self)->fiberMain(); }, this);
+    }
+    state_ = State::running;
+    sim_.sched_ctx_.switchTo(*fiber_);  // returns once the process yields
   }
-  if (done()) joinThread();
+  if (done()) reap();
 }
 
 void Process::scheduleResume() {
@@ -113,7 +145,7 @@ void Process::block() {
   throwIfKilled();
   {
     std::scoped_lock lk(mu_);
-    ++block_token_;
+    ++block_token_;  // invalidate any stale blockFor timer
   }
   yield(State::blocked);
 }
@@ -131,7 +163,10 @@ bool Process::blockFor(Duration timeout) {
     {
       std::scoped_lock lk(mu_);
       fire = state_ == State::blocked && block_token_ == token && !resume_queued_;
-      if (fire) timed_out_ = true;
+      if (fire) {
+        timed_out_ = true;
+        ++block_token_;  // a timer fires at most once
+      }
     }
     if (fire) resumeNow();
   });
@@ -165,8 +200,9 @@ void Process::kill() {
   if (state_ == State::blocked) scheduleResume();
 }
 
-void Process::joinThread() {
+void Process::reap() {
   if (thread_.joinable()) thread_.join();
+  fiber_.reset();
 }
 
 }  // namespace clouds::sim

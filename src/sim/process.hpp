@@ -1,12 +1,19 @@
 // Cooperatively scheduled simulation processes.
 //
 // A Process carries real C++ code (Clouds entry points, protocol handlers)
-// on a dedicated host thread, but the simulation enforces a strict
-// one-runner-at-a-time handshake: the scheduler resumes exactly one process
-// and waits until it yields (delay / block / termination) before touching
-// the event queue again. Combined with deterministic event ordering this
-// makes every run with a given seed bit-for-bit reproducible, while letting
-// "object code" be ordinary C++.
+// under a strict one-runner-at-a-time handshake: the scheduler resumes
+// exactly one process and waits until it yields (delay / block /
+// termination) before touching the event queue again. Combined with
+// deterministic event ordering this makes every run with a given seed
+// bit-for-bit reproducible, while letting "object code" be ordinary C++.
+//
+// Two interchangeable context-switch engines implement the handshake
+// (SimConfig::engine, docs/SIMCORE.md): the original thread-per-process
+// engine (a parked std::thread each) and the default stackful-fiber engine
+// (per-process user-space stacks, sim/fiber.hpp — no kernel switches, >=10x
+// the event throughput). The state machine below is engine-neutral, so the
+// two produce byte-identical universes for a given seed
+// (tests/sim_engine_equivalence_test.cpp).
 //
 // This is the reproduction's stand-in for an IsiBa's machine context; the Ra
 // layer wraps it with a stack segment and node binding (DESIGN.md §2).
@@ -15,10 +22,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "sim/config.hpp"
+#include "sim/fiber.hpp"
 #include "sim/time.hpp"
 
 namespace clouds::sim {
@@ -49,8 +59,12 @@ class Process {
   // Advance virtual time by d, yielding to other events meanwhile.
   void delay(Duration d);
 
-  // Block until wake() is called. May wake spuriously if a stale timeout
-  // from an earlier blockFor() fires; callers loop on their condition.
+  // Block until wake() is called. Never wakes spuriously: blockFor()
+  // timeouts are tokenized (block_token_), and a timer fires only while its
+  // captured token is still current — block(), blockFor(), and wake() each
+  // advance the token, so a stale timer from an earlier blockFor() cannot
+  // fire into a later block (tests/sim_process_test.cpp,
+  // EngineProcess.StaleTimerCannot*).
   void block();
 
   // Block with a timeout. Returns true if woken by wake(), false if the
@@ -72,21 +86,34 @@ class Process {
   friend class Simulation;
   Process(Simulation& sim, std::uint64_t id, std::string name, std::function<void(Process&)> body);
 
-  void trampoline(std::function<void(Process&)> body);
+  // Shared body wrapper: runs the user code, absorbs ProcessKilled, and
+  // yields State::done. Entered by threadMain (threads) or fiberMain
+  // (fibers) once the first resume arrives.
+  void runBody();
+  void threadMain();
+  [[noreturn]] void fiberMain();
   // Hand control back to the scheduler and wait to be resumed. Rethrows
   // ProcessKilled on resume if kill() was requested (unless unwinding).
+  // Never returns when next == State::done on the fiber engine.
   void yield(State next);
   void throwIfKilled();
   // Scheduler side: transfer control to the process and wait for its yield.
   void resumeNow();
   // Queue a resume event at the current time if none is pending.
   void scheduleResume();
-  void joinThread();
+  // Release the engine's execution resources once the process is done:
+  // join the host thread / free the fiber stack. Idempotent.
+  void reap();
 
   Simulation& sim_;
   std::uint64_t id_;
   std::string name_;
+  const Engine engine_;
+  std::function<void(Process&)> body_;  // released when the body finishes
 
+  // Engine-neutral state machine. The mutex is load-bearing only for the
+  // threads engine (two host threads hand off through it); under fibers
+  // everything runs on one host thread and the uncontended locks are noise.
   std::mutex mu_;
   std::condition_variable cv_;
   State state_ = State::created;
@@ -94,7 +121,9 @@ class Process {
   bool timed_out_ = false;
   bool killed_ = false;
   std::uint64_t block_token_ = 0;
-  std::thread thread_;
+
+  std::thread thread_;           // threads engine
+  std::unique_ptr<Fiber> fiber_; // fibers engine; stack allocated on first resume
 };
 
 }  // namespace clouds::sim

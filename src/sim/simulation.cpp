@@ -6,7 +6,13 @@
 
 namespace clouds::sim {
 
-Simulation::Simulation(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+Simulation::Simulation(std::uint64_t seed) : Simulation(SimConfig{.seed = seed}) {}
+
+Simulation::Simulation(const SimConfig& config) : config_(config), rng_(config.seed) {
+  events_executed_ = &metrics_.counter("sim/events_executed");
+  process_resumes_ = &metrics_.counter("sim/process_resumes");
+  processes_spawned_ = &metrics_.counter("sim/processes_spawned");
+}
 
 Simulation::~Simulation() { shutdownProcesses(); }
 
@@ -30,6 +36,7 @@ Process& Simulation::spawn(std::string name, std::function<void(Process&)> body)
       new Process(*this, next_process_id_++, std::move(name), std::move(body)));
   Process& ref = *p;
   processes_.push_back(std::move(p));
+  ++*processes_spawned_;
   ref.scheduleResume();
   return ref;
 }
@@ -59,6 +66,7 @@ std::size_t Simulation::runUntil(TimePoint horizon, bool bounded) {
     queue_.pop();
     fn();
     ++executed;
+    ++*events_executed_;
   }
   if (bounded && !stopped_ && now_ < horizon) now_ = horizon;
   running_ = false;
@@ -91,7 +99,7 @@ void Simulation::shutdownProcesses() {
       }
     }
   }
-  for (auto& p : processes_) p->joinThread();
+  for (auto& p : processes_) p->reap();
 }
 
 }  // namespace clouds::sim

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/config.hpp"
+#include "sim/fiber.hpp"
 #include "sim/metrics.hpp"
 #include "sim/process.hpp"
 #include "sim/time.hpp"
@@ -24,12 +26,14 @@ namespace clouds::sim {
 class Simulation {
  public:
   explicit Simulation(std::uint64_t seed = 1);
+  explicit Simulation(const SimConfig& config);
   ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
   TimePoint now() const noexcept { return now_; }
-  std::uint64_t seed() const noexcept { return seed_; }
+  std::uint64_t seed() const noexcept { return config_.seed; }
+  const SimConfig& config() const noexcept { return config_; }
 
   // Schedule fn to run in event context at now() + delay.
   void schedule(Duration delay, std::function<void()> fn);
@@ -89,7 +93,10 @@ class Simulation {
   std::size_t runUntil(TimePoint horizon, bool bounded);
   void shutdownProcesses();
 
-  std::uint64_t seed_;
+  SimConfig config_;
+  // The scheduler side of every fiber context switch: adopts whichever host
+  // stack is driving the event loop. Unused by the threads engine.
+  Fiber sched_ctx_;
   TimePoint now_ = kZero;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_process_id_ = 0;
@@ -101,6 +108,11 @@ class Simulation {
   std::mt19937_64 rng_;
   TraceSink trace_;
   MetricsRegistry metrics_;
+  // Simulation-core throughput counters (sim/*): cached references, bumped
+  // on the hot path; bench_simcore reports them per engine (E10).
+  std::uint64_t* events_executed_ = nullptr;
+  std::uint64_t* process_resumes_ = nullptr;
+  std::uint64_t* processes_spawned_ = nullptr;
 };
 
 // Convenience: the simulation clock as milliseconds (for reports/benches).

@@ -24,10 +24,14 @@ Cluster::Machine Cluster::makeMachine(net::NodeId id, const std::string& name, b
   if (compute_role) roles |= static_cast<int>(ra::NodeRole::compute);
   m.node = std::make_unique<ra::Node>(sim_, config_.cost, ether_, id, name, roles);
   if (data_role) {
-    m.store =
-        std::make_unique<store::DiskStore>(m.node->id(), config_.cost, config_.store_cache_pages);
+    m.store = std::make_unique<store::DiskStore>(m.node->id(), config_.cost,
+                                                 config_.store_cache_pages, config_.store_engine);
     m.store->attachMetrics(sim_.metrics(), name);
     m.server = std::make_unique<dsm::DsmServer>(*m.node, *m.store);
+    // wal engine: background write-back daemon, gated on the node being up
+    // (a crashed data server's spindle is idle until restart).
+    ra::Node* node = m.node.get();
+    m.store->startFlusher(sim_, [node] { return node->alive(); });
   }
   if (compute_role) {
     // On a combined machine the client partition short-circuits requests
@@ -306,6 +310,13 @@ Cluster::Stats Cluster::stats() const {
     s.invalidations += dv.server->invalidationsSent() + dv.server->degradesSent();
     s.disk_reads += dv.store->diskReads();
     s.disk_writes += dv.store->diskWrites();
+    s.cache_hits += dv.store->cacheHits();
+    s.cache_misses += dv.store->cacheMisses();
+    s.cache_evictions += dv.store->cacheEvictions();
+    s.wal_forces += dv.store->walForces();
+    s.wal_records += dv.store->walRecordCount();
+    s.wal_checkpoints += dv.store->walCheckpoints();
+    s.wal_pages_written_back += dv.store->walPagesWrittenBack();
     s.retransmissions += dv.node->ratp().stats().retransmissions;
   }
   for (const auto& m : machines_) {
@@ -328,11 +339,13 @@ Cluster::Stats Cluster::stats() const {
 }
 
 std::string Cluster::Stats::toString() const {
-  char buf[640];
+  char buf[832];
   std::snprintf(buf, sizeof(buf),
                 "invocations=%llu (remote %llu) activations=%llu tx_retries=%llu "
                 "faults=%llu coherence_callbacks=%llu frames=%llu bytes=%llu "
                 "retransmits=%llu disk_r/w=%llu/%llu "
+                "store[hits=%llu misses=%llu evict=%llu] "
+                "wal[forces=%llu records=%llu ckpts=%llu wb_pages=%llu] "
                 "sched[sent=%llu recv=%llu placed=%llu stale_evict=%llu fallback=%llu] "
                 "migrate[started=%llu committed=%llu aborted=%llu chases=%llu]",
                 static_cast<unsigned long long>(invocations),
@@ -346,6 +359,13 @@ std::string Cluster::Stats::toString() const {
                 static_cast<unsigned long long>(retransmissions),
                 static_cast<unsigned long long>(disk_reads),
                 static_cast<unsigned long long>(disk_writes),
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(cache_misses),
+                static_cast<unsigned long long>(cache_evictions),
+                static_cast<unsigned long long>(wal_forces),
+                static_cast<unsigned long long>(wal_records),
+                static_cast<unsigned long long>(wal_checkpoints),
+                static_cast<unsigned long long>(wal_pages_written_back),
                 static_cast<unsigned long long>(sched_reports_sent),
                 static_cast<unsigned long long>(sched_reports_received),
                 static_cast<unsigned long long>(sched_placements),

@@ -47,6 +47,11 @@ struct ClusterConfig {
   sim::CostModel cost;
   std::size_t frame_capacity = 2048;   // DSM frames per compute server
   std::size_t store_cache_pages = 256; // buffer cache per data server
+  // Storage engine per data server (docs/STORAGE.md): `wal` is the
+  // log-structured default (group commit + async batched write-back);
+  // `flat` is the original synchronous reference path, kept selectable so
+  // tests can prove the two are byte-equivalent on the data they store.
+  store::StoreEngine store_engine = store::StoreEngine::wal;
   // Distributed scheduling (src/sched): placement policy, gossip cadence,
   // staleness windows. policy = PolicyKind::oracle restores the old
   // omniscient baseline. A zero gossip_phase gets a deterministic per-node
@@ -170,6 +175,14 @@ class Cluster {
     std::uint64_t invalidations = 0;     // DSM coherence callbacks sent
     std::uint64_t disk_reads = 0;
     std::uint64_t disk_writes = 0;
+    // Storage (store/) counters, aggregated over every data server.
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t wal_forces = 0;
+    std::uint64_t wal_records = 0;
+    std::uint64_t wal_checkpoints = 0;
+    std::uint64_t wal_pages_written_back = 0;
     // Scheduler (sched/) counters, aggregated over every agent.
     std::uint64_t sched_reports_sent = 0;
     std::uint64_t sched_reports_received = 0;

@@ -1,6 +1,9 @@
 #include "consistency/txn.hpp"
 
+#include <memory>
+
 #include "dsm/protocol.hpp"
+#include "sim/sync.hpp"
 
 namespace clouds::consistency {
 
@@ -90,16 +93,48 @@ Result<void> TxnRuntime::commitGlobal(sim::Process& self, TxScope& scope) {
   }
   // Phase 2: commit everywhere. A server that misses the decision holds the
   // transaction in-doubt in its durable log; the decision is retried by
-  // RaTP and is idempotent on the store.
-  for (const auto& [server, updates] : by_server) {
-    (void)updates;
-    auto r = sendDecision(self, server, scope.txid, /*commit=*/true);
-    if (!r.ok()) {
-      ++*m_participant_failures_;
-      node_.simulation().trace(node_.name(), "txn",
-                               "commit decision to node " + std::to_string(server) +
-                                   " undelivered (in doubt): " + r.error().toString());
+  // RaTP and is idempotent on the store. The outcome is already decided, so
+  // the decisions are independent and fan out in parallel — each participant
+  // forces its commit record without waiting behind its siblings'.
+  if (by_server.size() <= 1) {
+    for (const auto& [server, updates] : by_server) {
+      (void)updates;
+      auto r = sendDecision(self, server, scope.txid, /*commit=*/true);
+      if (!r.ok()) {
+        ++*m_participant_failures_;
+        node_.simulation().trace(node_.name(), "txn",
+                                 "commit decision to node " + std::to_string(server) +
+                                     " undelivered (in doubt): " + r.error().toString());
+      }
     }
+  } else {
+    struct Phase2 {
+      sim::SimSemaphore done;
+      std::uint64_t failures = 0;
+      std::vector<std::string> traces;
+    };
+    auto st = std::make_shared<Phase2>();
+    const std::uint64_t txid = scope.txid;
+    for (const auto& [server, updates] : by_server) {
+      (void)updates;
+      const net::NodeId target = server;
+      node_.spawnIsiBa("txn" + std::to_string(txid & 0xffffffff) + ":commit->" +
+                           std::to_string(target),
+                       [this, st, target, txid](sim::Process& p) {
+                         auto r = sendDecision(p, target, txid, /*commit=*/true);
+                         if (!r.ok()) {
+                           ++st->failures;
+                           st->traces.push_back("commit decision to node " +
+                                                std::to_string(target) +
+                                                " undelivered (in doubt): " +
+                                                r.error().toString());
+                         }
+                         st->done.release();
+                       });
+    }
+    for (std::size_t i = 0; i < by_server.size(); ++i) st->done.acquire(self);
+    *m_participant_failures_ += st->failures;
+    for (const std::string& t : st->traces) node_.simulation().trace(node_.name(), "txn", t);
   }
   for (const Sysname& seg : scope.write_set) dsm_.markSegmentClean(seg);
   releaseLocks(self, scope);

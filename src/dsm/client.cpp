@@ -157,6 +157,28 @@ Result<void> DsmClientPartition::sendWriteBack(sim::Process& self, const ra::Pag
   return decodeStatus(d, "write back");
 }
 
+Result<void> DsmClientPartition::sendWriteBackBatch(
+    sim::Process& self, const Sysname& segment, const std::vector<store::PageUpdate>& updates,
+    bool drop) {
+  *m_write_backs_ += updates.size();
+  const net::NodeId home = ra::sysnameHome(segment);
+  if (home == node_.id() && local_server_ != nullptr) {
+    node_.cpu().compute(self, node_.cost().syscall);
+    return local_server_->handleWriteBackBatch(self, node_.id(), updates, drop);
+  }
+  Encoder e;
+  e.u8(static_cast<std::uint8_t>(Op::write_back_batch));
+  e.boolean(drop);
+  e.u32(static_cast<std::uint32_t>(updates.size()));
+  for (const store::PageUpdate& u : updates) {
+    encodePageKey(e, u.key);
+    e.bytes(u.data);
+  }
+  CLOUDS_TRY_ASSIGN(reply, node_.ratp().transact(self, home, net::kPortDsm, std::move(e).take()));
+  Decoder d(reply);
+  return decodeStatus(d, "write back batch");
+}
+
 void DsmClientPartition::maybeEvict(sim::Process& self) {
   while (frames_.size() >= capacity_) {
     // Victim: least-recently-used frame with no fault in flight.
@@ -352,15 +374,29 @@ Result<void> DsmClientPartition::flushSegment(sim::Process& self, const Sysname&
   for (const auto& [key, f] : frames_) {
     if (key.segment == segment && f.state == FState::exclusive && f.dirty) dirty.push_back(key);
   }
-  for (const ra::PageKey& key : dirty) {
-    auto it = frames_.find(key);
-    if (it == frames_.end() || !it->second.dirty) continue;  // raced a callback
-    const Bytes data = it->second.data;
-    CLOUDS_TRY(sendWriteBack(self, key, data, /*drop=*/false));
-    it = frames_.find(key);
-    if (it != frames_.end() && it->second.state == FState::exclusive) {
-      it->second.state = FState::shared;
-      it->second.dirty = false;
+  // Ship in bounded batches (one exchange, one batched store write each);
+  // frames are re-checked at batch-build time since an earlier batch may
+  // have blocked while callbacks collected some of them.
+  const std::size_t max_batch = std::max<std::size_t>(1, node_.cost().dsm_writeback_batch_pages);
+  std::size_t next = 0;
+  while (next < dirty.size()) {
+    std::vector<store::PageUpdate> batch;
+    std::vector<ra::PageKey> sent;
+    while (next < dirty.size() && batch.size() < max_batch) {
+      const ra::PageKey& key = dirty[next++];
+      auto it = frames_.find(key);
+      if (it == frames_.end() || !it->second.dirty) continue;  // raced a callback
+      batch.push_back(store::PageUpdate{key, it->second.data});
+      sent.push_back(key);
+    }
+    if (batch.empty()) continue;
+    CLOUDS_TRY(sendWriteBackBatch(self, segment, batch, /*drop=*/false));
+    for (const ra::PageKey& key : sent) {
+      auto it = frames_.find(key);
+      if (it != frames_.end() && it->second.state == FState::exclusive) {
+        it->second.state = FState::shared;
+        it->second.dirty = false;
+      }
     }
   }
   return okResult();

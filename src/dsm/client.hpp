@@ -109,6 +109,10 @@ class DsmClientPartition : public ra::Partition {
   Result<PageGrant> requestPage(sim::Process& self, const ra::PageKey& key, ra::Access access);
   Result<void> sendWriteBack(sim::Process& self, const ra::PageKey& key, const Bytes& data,
                              bool drop);
+  // Ship many dirty pages of one segment in a single exchange (the server
+  // applies them as one batched store write).
+  Result<void> sendWriteBackBatch(sim::Process& self, const Sysname& segment,
+                                  const std::vector<store::PageUpdate>& updates, bool drop);
   void maybeEvict(sim::Process& self);
   void bindCallbackService();
 

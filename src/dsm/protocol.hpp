@@ -27,6 +27,7 @@ enum class Op : std::uint8_t {
   adopt_segment = 5,
   stat_segment = 6,
   destroy_segment = 7,
+  write_back_batch = 8,  // many dirty pages of one segment in one exchange
   // kPortDsm, data server -> client (coherence callbacks)
   invalidate = 20,
   degrade = 21,

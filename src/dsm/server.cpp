@@ -32,6 +32,12 @@ DsmServer::DsmServer(ra::Node& node, store::DiskStore& store) : node_(node), sto
     store_.loseVolatileState();
   });
   node_.onRestartHook([this] {
+    if (store_.engine() == store::StoreEngine::wal) {
+      // Replay the surviving log before serving: the store's state is
+      // already rebuilt, this charges the disk time a real replay would
+      // take (bounded by checkpoint truncation).
+      node_.spawnIsiBa("store-recover", [this](sim::Process& p) { (void)store_.recover(p); });
+    }
     // In-doubt prepared transactions survive in the durable log. Deciding
     // them here (presumed abort) could discard a committed transaction whose
     // decision is still being retransmitted, so we only surface them: the
@@ -311,6 +317,72 @@ Result<void> DsmServer::handleWriteBack(sim::Process& self, net::NodeId client,
   return okResult();
 }
 
+Result<void> DsmServer::handleWriteBackBatch(sim::Process& self, net::NodeId client,
+                                             const std::vector<store::PageUpdate>& updates,
+                                             bool drop) {
+  *m_write_backs_ += updates.size();
+  if (updates.empty()) return okResult();
+  // Hold every page's directory mutex for the span of the batch, acquired in
+  // key order (the client collects from an ordered map; other handlers only
+  // ever hold one entry at a time), released in reverse by RAII.
+  std::vector<DirEntry*> entries;
+  entries.reserve(updates.size());
+  for (const auto& u : updates) entries.push_back(&directory_[u.key]);
+  for (DirEntry* e : entries) e->mu.lock(self);
+  struct UnlockAll {
+    std::vector<DirEntry*>& entries;
+    ~UnlockAll() {
+      for (auto it = entries.rbegin(); it != entries.rend(); ++it) (*it)->mu.unlock();
+    }
+  } unlock{entries};
+  node_.cpu().compute(self, node_.cost().dsm_server_lookup);
+  // Decide acceptance per page under the locks (same rules as the
+  // single-page path), then push the accepted set through one store write.
+  std::vector<store::PageUpdate> accepted;
+  std::vector<std::size_t> accepted_idx;
+  std::vector<bool> accepted_adoption;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    DirEntry& e = *entries[i];
+    const bool owned = e.state == PState::exclusive && e.owner == client;
+    const bool adoption = !owned && e.state == PState::uncached && e.version == 0;
+    if (!owned && !adoption) continue;  // stale: a callback already collected it
+    if (adoption) {
+      // Post-reboot adoption, same gate as handleWriteBack.
+      ++*m_wb_adoptions_;
+      ++e.version;
+    }
+    // Existence pre-filter: store::writePages is all-or-nothing, so a page
+    // of a segment destroyed or shrunk meanwhile must not poison the batch.
+    auto info = store_.stat(updates[i].key.segment);
+    if (!info.ok() || updates[i].key.page >= info.value().pageCount()) continue;
+    accepted.push_back(updates[i]);
+    accepted_idx.push_back(i);
+    accepted_adoption.push_back(adoption);
+  }
+  if (!accepted.empty()) CLOUDS_TRY(store_.writePages(self, accepted));
+  for (std::size_t a = 0; a < accepted_idx.size(); ++a) {
+    DirEntry& e = *entries[accepted_idx[a]];
+    if (accepted_adoption[a]) {
+      if (!drop) {
+        e.state = PState::shared;
+        e.copyset = {client};
+      }
+      continue;
+    }
+    ++e.version;
+    if (drop) {
+      e.state = PState::uncached;
+      e.owner = net::kNoNode;
+      e.copyset.clear();
+    } else {
+      e.state = PState::shared;
+      e.copyset = {client};
+      e.owner = net::kNoNode;
+    }
+  }
+  return okResult();
+}
+
 // ---------------------------------------------------------------- segments
 
 Result<Sysname> DsmServer::handleCreate(sim::Process& self, std::uint64_t length,
@@ -547,6 +619,32 @@ Bytes DsmServer::serveDsm(sim::Process& self, net::NodeId client, const Bytes& r
         break;
       }
       auto r = handleWriteBack(self, client, key.value(), data.value(), drop.value());
+      encodeStatus(reply, r.code());
+      break;
+    }
+    case Op::write_back_batch: {
+      auto drop = d.boolean();
+      auto count = d.u32();
+      if (!drop.ok() || !count.ok()) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      std::vector<store::PageUpdate> updates;
+      bool bad = false;
+      for (std::uint32_t i = 0; i < count.value() && !bad; ++i) {
+        auto key = decodePageKey(d);
+        auto data = d.bytes();
+        if (!key.ok() || !data.ok()) {
+          bad = true;
+          break;
+        }
+        updates.push_back(store::PageUpdate{key.value(), std::move(data).value()});
+      }
+      if (bad) {
+        encodeStatus(reply, Errc::bad_argument);
+        break;
+      }
+      auto r = handleWriteBackBatch(self, client, updates, drop.value());
       encodeStatus(reply, r.code());
       break;
     }

@@ -46,6 +46,12 @@ class DsmServer {
   Result<PageGrant> handleWrite(sim::Process& self, net::NodeId client, const ra::PageKey& key);
   Result<void> handleWriteBack(sim::Process& self, net::NodeId client, const ra::PageKey& key,
                                ByteSpan data, bool drop);
+  // Batched write-back: many pages of one segment decided under their
+  // directory locks (taken in key order) and applied through the store as a
+  // single batched write — one log record / one group-commit force under the
+  // wal engine instead of a force per page.
+  Result<void> handleWriteBackBatch(sim::Process& self, net::NodeId client,
+                                    const std::vector<store::PageUpdate>& updates, bool drop);
 
   // ---- Segment management ----
   Result<Sysname> handleCreate(sim::Process& self, std::uint64_t length, bool zero_fill);

@@ -86,6 +86,24 @@ struct CostModel {
 
   // ---- Storage / commit ----
   Duration commit_log_write = msec(3);  // force a prepare/commit record
+  // ---- WAL storage engine (store/wal.hpp, docs/STORAGE.md) ----
+  // A log force pays commit_log_write (sync + rotational settle at the log
+  // head) once per batch plus the sequential transfer of the coalesced
+  // payload; the group-commit window is how long the first forcer waits for
+  // joiners before issuing the batched force.
+  Duration wal_group_commit_window = usec(300);
+  // Sequential 8 KiB append at streaming bandwidth — the log's reason to
+  // exist is turning random page writes (disk_per_page, head repositioning
+  // between write-behind slots) into pure sequential transfer; 4x is a
+  // conservative sequential-over-random advantage for one spindle.
+  Duration wal_force_per_page = usec(500);
+  Duration wal_replay_per_record = usec(40); // re-stage one record at reboot
+  Duration wal_writeback_interval = msec(20);  // checkpointer daemon cadence
+  std::size_t wal_writeback_batch = 64;        // max pages per write-back sweep
+  // DSM client write-back batching: pages per write_back_batch message. Caps
+  // the RaTP message at ~8 * 8 KiB so the per-fragment send CPU stays well
+  // inside one retransmit timeout.
+  std::size_t dsm_writeback_batch_pages = 8;
   // A commit decision must outlive a participant's crash+reboot window
   // (chaos tests reboot after 500 ms): 24 * 40 ms ≈ 1 s of retransmits, so
   // the retried decision lands on the rebooted server's durable prepared

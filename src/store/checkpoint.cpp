@@ -1,0 +1,71 @@
+#include "store/checkpoint.hpp"
+
+#include <limits>
+
+namespace clouds::store::wal {
+
+void DirtyTable::stage(const ra::PageKey& key, ByteSpan data, std::uint64_t lsn) {
+  DirtyPage& p = pages_[key];
+  p.data.assign(data.begin(), data.end());
+  p.lsn = lsn;
+}
+
+const DirtyPage* DirtyTable::find(const ra::PageKey& key) const {
+  auto it = pages_.find(key);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t DirtyTable::minLsn() const {
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& [key, p] : pages_) {
+    if (p.lsn < min) min = p.lsn;
+  }
+  return min;
+}
+
+std::vector<std::pair<ra::PageKey, DirtyPage>> DirtyTable::pickBatch(
+    std::uint64_t durable_lsn, std::size_t max_pages) const {
+  std::vector<std::pair<ra::PageKey, DirtyPage>> out;
+  for (const auto& [key, p] : pages_) {
+    if (out.size() >= max_pages) break;
+    if (p.lsn <= durable_lsn) out.emplace_back(key, p);
+  }
+  return out;
+}
+
+void DirtyTable::applied(const ra::PageKey& key, std::uint64_t lsn) {
+  auto it = pages_.find(key);
+  if (it != pages_.end() && it->second.lsn == lsn) pages_.erase(it);
+}
+
+void DirtyTable::purgeSegment(const Sysname& segment) {
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    it = it->first.segment == segment ? pages_.erase(it) : std::next(it);
+  }
+}
+
+void DirtyTable::purgeBeyond(const Sysname& segment, ra::PageIndex page_count) {
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    const bool drop = it->first.segment == segment && it->first.page >= page_count;
+    it = drop ? pages_.erase(it) : std::next(it);
+  }
+}
+
+std::uint64_t chainHash(std::uint64_t prev, const ra::PageKey& key, ByteSpan data) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = prev ^ 14695981039346656037ull;
+  auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (i * 8)) & 0xff)) * kPrime;
+    }
+  };
+  mix(key.segment.hi());
+  mix(key.segment.lo());
+  mix(key.page);
+  for (const std::byte b : data) {
+    h = (h ^ static_cast<std::uint64_t>(b)) * kPrime;
+  }
+  return h;
+}
+
+}  // namespace clouds::store::wal

@@ -12,9 +12,23 @@
 // The store is also the two-phase-commit participant's durable half:
 // prepared page updates are staged in a log that survives crashes, exactly
 // what the consistency layer's recovery path needs.
+//
+// Two engines share this API (docs/STORAGE.md):
+//  * flat — the original reference path: every write lands synchronously in
+//    the segment images; the prepared map doubles as the durable 2PC log.
+//  * wal  — the v2 log-structured path: writes, prepares, and decisions are
+//    log records made durable by a group-commit force (concurrent callers
+//    coalesce into one batched force), committed images ride in a dirty-page
+//    table until an asynchronous checkpointer writes them back in batches
+//    and truncates the log.
+// Both engines serialize their mechanical disk time through one arm mutex —
+// a data server has a single spindle — which is what makes the wal engine's
+// coalescing measurable (bench/bench_store.cpp, EXPERIMENTS §E11).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <list>
 #include <map>
 #include <set>
 #include <string>
@@ -27,20 +41,25 @@
 #include "sim/cost_model.hpp"
 #include "sim/metrics.hpp"
 #include "sim/process.hpp"
+#include "sim/sync.hpp"
+#include "store/checkpoint.hpp"
+#include "store/wal.hpp"
+
+namespace clouds::sim {
+class Simulation;
+}
 
 namespace clouds::store {
 
-struct PageUpdate {
-  ra::PageKey key;
-  Bytes data;  // exactly kPageSize bytes
-};
+enum class StoreEngine : std::uint8_t { flat = 0, wal = 1 };
 
 class DiskStore {
  public:
   DiskStore(std::uint32_t home_node, const sim::CostModel& cost,
-            std::size_t buffer_cache_pages = 256);
+            std::size_t buffer_cache_pages = 256, StoreEngine engine = StoreEngine::flat);
 
   std::uint32_t homeNode() const noexcept { return home_; }
+  StoreEngine engine() const noexcept { return engine_; }
 
   // ---- Segment operations (metadata is cheap; page I/O pays disk time) ----
   Result<Sysname> createSegment(std::uint64_t length, bool zero_fill = true);
@@ -56,20 +75,46 @@ class DiskStore {
   // (the client charges a zero-fill fault instead of a copy fault).
   Result<bool> readPage(sim::Process& self, const ra::PageKey& key, MutableByteSpan out);
   Result<void> writePage(sim::Process& self, const ra::PageKey& key, ByteSpan data);
+  // Batched write: under the wal engine the whole batch is one log record
+  // and one (group-committed) force; under flat it degenerates to a loop.
+  Result<void> writePages(sim::Process& self, const std::vector<PageUpdate>& updates);
 
   // ---- Two-phase commit participant (durable log) ----
   Result<void> prepare(sim::Process& self, std::uint64_t txid, std::vector<PageUpdate> updates);
   Result<void> commitPrepared(sim::Process& self, std::uint64_t txid);
   Result<void> abortPrepared(sim::Process& self, std::uint64_t txid);
-  bool hasPrepared(std::uint64_t txid) const { return prepared_.count(txid) != 0; }
+  bool hasPrepared(std::uint64_t txid) const {
+    return engine_ == StoreEngine::wal ? prepared_lsn_.count(txid) != 0
+                                       : prepared_.count(txid) != 0;
+  }
   std::vector<std::uint64_t> preparedTxids() const;
   // Keys staged under a prepared transaction (empty when unknown).
   std::vector<ra::PageKey> preparedKeys(std::uint64_t txid) const;
 
+  // ---- WAL engine: checkpointer / recovery ----
+  // Start the write-back flusher: a daemon tick (does not keep an unbounded
+  // run() alive) that spawns a bounded sweep whenever committed pages are
+  // waiting. `alive` gates the sweeps (a crashed node's disk is idle).
+  void startFlusher(sim::Simulation& sim, std::function<bool()> alive = {});
+  bool needsWriteBack() const;
+  // One bounded sweep: apply up to max_pages durable dirty images to the
+  // segments (one seek amortized over the batch), append + force a
+  // content-hash checkpoint record, truncate the log. Returns pages applied.
+  Result<std::size_t> writeBackSome(sim::Process& self, std::size_t max_pages);
+  // Charge reboot-time log replay (state is already rebuilt eagerly by
+  // loseVolatileState); returns the records replayed. No-op under flat.
+  Result<std::size_t> recover(sim::Process& self);
+
   // ---- Failure / persistence ----
-  // In-simulation crash: the buffer cache is lost; images and log survive.
-  void loseVolatileState() { buffer_cache_.clear(); cache_order_.clear(); }
-  void clearBufferCache() { loseVolatileState(); }
+  // In-simulation crash: the buffer cache is lost; images and the forced
+  // log survive. The wal engine additionally drops the unforced log tail
+  // (torn tail) and rebuilds its dirty table and prepared index by replay.
+  void loseVolatileState();
+  void clearBufferCache();
+  // Test hook: the next crash keeps this many records of the unforced tail,
+  // modeling a force batch that was partially persisted (sequential log:
+  // the surviving records are a prefix of the batch).
+  void setTornTailKeep(std::size_t records) noexcept { torn_tail_keep_ = records; }
 
   // Fault injection: while faulty, page reads/writes and prepare fail with
   // Errc::io (after paying their disk time — a failing disk still spins).
@@ -80,8 +125,9 @@ class DiskStore {
   bool faulty() const noexcept { return faulty_; }
   std::uint64_t ioErrors() const noexcept { return io_errors_; }
 
-  // Mirror disk counters into the registry as "<scope>/disk/..." (optional;
-  // stores built outside a node — unit tests — skip it).
+  // Mirror disk counters into the registry as "<scope>/disk/..." plus
+  // "<scope>/store/..." and "<scope>/wal/..." (optional; stores built
+  // outside a node — unit tests — skip it).
   void attachMetrics(sim::MetricsRegistry& metrics, const std::string& scope);
 
   // Snapshot all durable state to / from a host file (survives the process).
@@ -90,37 +136,118 @@ class DiskStore {
 
   std::uint64_t diskReads() const noexcept { return disk_reads_; }
   std::uint64_t diskWrites() const noexcept { return disk_writes_; }
+  std::uint64_t cacheHits() const noexcept { return cache_hits_; }
+  std::uint64_t cacheMisses() const noexcept { return cache_misses_; }
+  std::uint64_t cacheEvictions() const noexcept { return cache_evictions_; }
+  std::uint64_t walForces() const noexcept { return wal_forces_; }
+  std::uint64_t walRecordCount() const noexcept { return log_.recordCount(); }
+  std::uint64_t walDurableLsn() const noexcept { return log_.durableLsn(); }
+  std::uint64_t walAppliedLsn() const noexcept { return log_.appliedLsn(); }
+  std::uint64_t walCheckpointHash() const noexcept { return log_.contentHash(); }
+  std::uint64_t walCheckpoints() const noexcept { return wal_checkpoints_; }
+  std::uint64_t walPagesWrittenBack() const noexcept { return wal_pages_written_back_; }
+  std::uint64_t walTruncatedRecords() const noexcept { return wal_truncated_records_; }
+  std::uint64_t walReplayedRecords() const noexcept { return wal_replayed_records_; }
+  std::size_t dirtyPageCount() const noexcept { return dirty_.size(); }
 
  private:
   struct StoredSegment {
     ra::SegmentInfo info;
     std::map<ra::PageIndex, Bytes> pages;  // only written pages are present
   };
+  // O(1) LRU buffer cache: list in recency order + key -> list position.
+  struct BufferCache {
+    std::list<ra::PageKey> order;  // front = LRU victim, back = most recent
+    std::map<ra::PageKey, std::list<ra::PageKey>::iterator> index;
+    bool contains(const ra::PageKey& key) const { return index.count(key) != 0; }
+    void touch(const ra::PageKey& key);
+    // Inserts key; returns true if a victim was evicted.
+    bool insert(const ra::PageKey& key, std::size_t capacity);
+    void clear() {
+      order.clear();
+      index.clear();
+    }
+  };
 
+  void cacheInsert(const ra::PageKey& key);
   void chargeDiskRead(sim::Process& self, const ra::PageKey& key);
   void chargeDiskWrite(sim::Process& self);
   Result<void> diskFault(sim::Process& self, const char* op);
   Result<void> writePageDurable(sim::Process& self, const ra::PageKey& key, ByteSpan data);
+  Result<void> validateUpdate(const ra::PageKey& key, std::size_t size) const;
   StoredSegment* find(const Sysname& s);
   const StoredSegment* find(const Sysname& s) const;
+
+  // ---- wal engine internals ----
+  // Block until lsn is durable, becoming the group-commit leader if no
+  // force is in flight: wait the coalescing window, then pay one batched
+  // force on the arm for everything appended so far. Errc::io if a crash
+  // swallowed the tail first.
+  Result<void> forceLog(sim::Process& self, std::uint64_t lsn);
+  // Rebuild dirty table + prepared index from the (post-crash) log.
+  void rebuildVolatileFromLog();
+  // Apply a decoded log into the flat images (cross-engine snapshot load).
+  void replayIntoImages(const wal::Log& log);
+  void scheduleFlusherTick();
+  void scrubLogUpdates(const Sysname& segment, ra::PageIndex page_count);
 
   std::uint32_t home_;
   const sim::CostModel& cost_;
   std::size_t cache_capacity_;
+  StoreEngine engine_;
   std::uint64_t next_seq_ = 1;
   std::map<Sysname, StoredSegment> segments_;
-  std::map<std::uint64_t, std::vector<PageUpdate>> prepared_;  // durable 2PC log
-  // Buffer cache: pages recently touched on this server (LRU).
-  std::set<ra::PageKey> buffer_cache_;
-  std::vector<ra::PageKey> cache_order_;
+  std::map<std::uint64_t, std::vector<PageUpdate>> prepared_;  // flat: durable 2PC log
+  BufferCache cache_;
+
+  // wal engine state. The log below durable_lsn and the segment images are
+  // durable; the dirty table, prepared index, and unforced tail are not.
+  wal::Log log_;
+  wal::DirtyTable dirty_;
+  std::map<std::uint64_t, std::uint64_t> prepared_lsn_;  // txid -> prepare record lsn
+  // One spindle: every mechanical delay (seek, transfer, log force) holds
+  // this while it charges time.
+  sim::SimMutex arm_;
+  bool force_in_progress_ = false;
+  sim::WaitQueue force_waiters_;
+  // Bumped by every crash; forcers and flush sweeps re-check it after each
+  // delay and abandon their work when the universe has moved on.
+  std::uint64_t crash_epoch_ = 0;
+  bool flush_in_progress_ = false;
+  sim::Simulation* flusher_sim_ = nullptr;
+  std::function<bool()> flusher_alive_;
+  std::size_t torn_tail_keep_ = 0;
+
   std::uint64_t disk_reads_ = 0;
   std::uint64_t disk_writes_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_evictions_ = 0;
+  std::uint64_t wal_forces_ = 0;
+  std::uint64_t wal_records_ = 0;
+  std::uint64_t wal_write_backs_ = 0;
+  std::uint64_t wal_pages_written_back_ = 0;
+  std::uint64_t wal_checkpoints_ = 0;
+  std::uint64_t wal_truncated_records_ = 0;
+  std::uint64_t wal_replays_ = 0;
+  std::uint64_t wal_replayed_records_ = 0;
   bool faulty_ = false;
   std::uint64_t io_errors_ = 0;
   // Optional registry mirrors (null until attachMetrics).
   std::uint64_t* m_reads_ = nullptr;
   std::uint64_t* m_writes_ = nullptr;
   std::uint64_t* m_io_errors_ = nullptr;
+  std::uint64_t* m_cache_hits_ = nullptr;
+  std::uint64_t* m_cache_misses_ = nullptr;
+  std::uint64_t* m_cache_evictions_ = nullptr;
+  std::uint64_t* m_wal_forces_ = nullptr;
+  std::uint64_t* m_wal_records_ = nullptr;
+  std::uint64_t* m_wal_write_backs_ = nullptr;
+  std::uint64_t* m_wal_pages_wb_ = nullptr;
+  std::uint64_t* m_wal_checkpoints_ = nullptr;
+  std::uint64_t* m_wal_truncated_ = nullptr;
+  std::uint64_t* m_wal_replays_ = nullptr;
+  std::uint64_t* m_wal_replayed_ = nullptr;
 };
 
 }  // namespace clouds::store

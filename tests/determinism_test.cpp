@@ -19,11 +19,13 @@ struct RunResult {
   std::string placements;  // gossip-scheduler decisions, e.g. "011"
 };
 
-RunResult runWorkload(std::uint64_t seed, bool keep_entries = false) {
+RunResult runWorkload(std::uint64_t seed, bool keep_entries = false,
+                      store::StoreEngine engine = store::StoreEngine::wal) {
   ClusterConfig cfg;
   cfg.compute_servers = 2;
   cfg.data_servers = 2;
   cfg.seed = seed;
+  cfg.store_engine = engine;
   Cluster cluster(cfg);
   cluster.sim().tracer().setKeepEntries(keep_entries);
   obj::samples::registerAll(cluster.classes());
@@ -92,10 +94,13 @@ struct MigrationRunResult {
   std::string events;  // concatenated per-node migration transcripts
   std::uint64_t committed = 0;
   std::int64_t probe = -1;
+  std::int64_t successes = 0;  // adds whose caller saw ok
 };
 
-MigrationRunResult runMigrationWorkload(std::uint64_t seed) {
+MigrationRunResult runMigrationWorkload(std::uint64_t seed,
+                                        store::StoreEngine engine = store::StoreEngine::wal) {
   ClusterConfig cfg;
+  cfg.store_engine = engine;
   cfg.compute_servers = 0;
   cfg.data_servers = 0;
   cfg.combined_servers = 2;
@@ -118,6 +123,9 @@ MigrationRunResult runMigrationWorkload(std::uint64_t seed) {
   cluster.run();
 
   MigrationRunResult out;
+  for (const auto& h : handles) {
+    if (h->result.ok()) ++out.successes;
+  }
   out.probe = cluster.call("H", "value", {}, 1).value().asInt().valueOr(-1);
   out.events = cluster.migrationEvents();
   out.committed = cluster.stats().migrations_committed;
@@ -139,6 +147,51 @@ TEST(Determinism, MigrationEventSequenceReplaysExactly) {
   EXPECT_GE(a.committed, 1u);
   EXPECT_NE(a.events.find("state draining"), std::string::npos);
   EXPECT_NE(a.events.find("committed"), std::string::npos);
+}
+
+// The storage engine is part of the deterministic universe: each engine
+// replays its own seed byte-for-byte, and while the two engines time events
+// differently (wal defers image writes, flat applies them synchronously),
+// the program-visible outcome is identical (docs/STORAGE.md).
+TEST(Determinism, FlatEngineSameSeedSameUniverse) {
+  const RunResult a = runWorkload(20240705, false, store::StoreEngine::flat);
+  const RunResult b = runWorkload(20240705, false, store::StoreEngine::flat);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.placements, b.placements);
+  EXPECT_EQ(a.counter, 8);
+}
+
+TEST(Determinism, EnginesDivergeInTimingButAgreeInSemantics) {
+  const RunResult flat = runWorkload(20240705, false, store::StoreEngine::flat);
+  const RunResult wal = runWorkload(20240705, false, store::StoreEngine::wal);
+  // Different disk schedules => different universes (the comparison is not
+  // vacuous: the wal run forces its log, the flat run never does)...
+  EXPECT_NE(flat.metrics_json, wal.metrics_json);
+  // ...but the full-cluster workload converges to the same answer.
+  EXPECT_EQ(flat.counter, wal.counter);
+  EXPECT_EQ(flat.counter, 8);
+}
+
+TEST(Determinism, MigrationWorkloadReplaysAndAgreesUnderBothEngines) {
+  const MigrationRunResult f1 = runMigrationWorkload(20260808, store::StoreEngine::flat);
+  const MigrationRunResult f2 = runMigrationWorkload(20260808, store::StoreEngine::flat);
+  EXPECT_EQ(f1.digest, f2.digest);
+  EXPECT_EQ(f1.events, f2.events);
+  EXPECT_EQ(f1.metrics_json, f2.metrics_json);
+  const MigrationRunResult w = runMigrationWorkload(20260808, store::StoreEngine::wal);
+  // Migration under load commits on both engines, every add's caller saw
+  // success, and the handed-off object stays callable from another node.
+  // (The probe's exact value is a frame-caching artifact of the s-labeled
+  // counter, so it is pinned by the replay checks, not compared across
+  // engines.)
+  EXPECT_GE(f1.committed, 1u);
+  EXPECT_GE(w.committed, 1u);
+  EXPECT_EQ(f1.successes, 8);
+  EXPECT_EQ(w.successes, 8);
+  EXPECT_GE(f1.probe, 0);
+  EXPECT_GE(w.probe, 0);
 }
 
 TEST(Determinism, DifferentSeedDivergesButStaysCorrect) {

@@ -94,6 +94,28 @@ TEST(DiskStore, CacheEvictsLru) {
   });
 }
 
+TEST(DiskStore, CacheCountersTrackHitsMissesEvictions) {
+  StoreFixture f;  // cache capacity 4
+  auto name = f.store.createSegment(6 * ra::kPageSize).value();
+  f.run([&](sim::Process& self) {
+    for (std::uint32_t p = 0; p < 5; ++p) {
+      ASSERT_TRUE(f.store.writePage(self, {name, p}, StoreFixture::page(std::byte{1})).ok());
+    }
+    EXPECT_EQ(f.store.cacheEvictions(), 1u);  // page 0 fell out when page 4 arrived
+    Bytes buf(ra::kPageSize);
+    ASSERT_TRUE(f.store.readPage(self, {name, 4}, buf).ok());  // resident
+    EXPECT_EQ(f.store.cacheHits(), 1u);
+    EXPECT_EQ(f.store.cacheMisses(), 0u);
+    ASSERT_TRUE(f.store.readPage(self, {name, 0}, buf).ok());  // was evicted
+    EXPECT_EQ(f.store.cacheMisses(), 1u);
+    EXPECT_EQ(f.store.cacheEvictions(), 2u);  // page 1 is the LRU victim now
+    // The hit refreshed recency, so page 4 must still be resident.
+    const auto reads = f.store.diskReads();
+    ASSERT_TRUE(f.store.readPage(self, {name, 4}, buf).ok());
+    EXPECT_EQ(f.store.diskReads(), reads);
+  });
+}
+
 TEST(DiskStore, OutOfRangeAndUnknownErrors) {
   StoreFixture f;
   auto name = f.store.createSegment(ra::kPageSize).value();

@@ -36,6 +36,11 @@ inline void report(benchmark::State& state, double sim_ms, double paper_ms) {
 // identical universe); stderr keeps --benchmark_format machine output clean.
 inline void emitMetrics(const char* name, sim::Simulation& sim) {
   std::fprintf(stderr, "# metrics %s %s\n", name, sim.metrics().toJson().c_str());
+  // Percentile digest of every histogram (p50/p95/p99 via integer
+  // interpolation inside the owning bucket — sim::Histogram::quantile), so
+  // consumers never re-derive quantiles from raw bucket arrays.
+  std::fprintf(stderr, "# percentiles %s %s\n", name,
+               sim.metrics().percentilesJson().c_str());
 }
 
 inline double ms(sim::Duration d) { return sim::toMillis(d); }

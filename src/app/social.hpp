@@ -1,0 +1,127 @@
+// The production-shaped application tier (docs/APP.md): a social network
+// built out of persistent Clouds objects.
+//
+// Four classes — social_user, social_post, social_timeline, social_follow —
+// are instantiated as S shards each, spread round-robin across the data
+// servers. A user id u lives in shard u % S at local index u / S; every
+// per-user record is a fixed 2^k-size struct, so records never straddle a
+// DSM page and the store's sparse zero-filled segments make "registered but
+// never touched" users free. Registration is therefore a per-shard
+// *watermark*: user u is registered iff u / S is below their shard's
+// watermark, which is how the workload reaches millions of registered users
+// without materialising millions of pages.
+//
+// The write path is fan-out-on-write: `post` runs on the author's user
+// shard as a GCP entry, and its nested calls (store the post, read the
+// follower list, append to every follower timeline) are themselves GCP
+// entries, so they fold into one consistency scope — the whole fan-out
+// commits or aborts atomically through the ordinary 2PL + 2PC machinery.
+// Timelines are delivered in ascending shard order to keep lock acquisition
+// ordered. `read_timeline` is an S-label entry: the hot read path takes no
+// locks and is served from whatever the reader's DSM cache holds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clouds/cluster.hpp"
+
+namespace clouds::app {
+
+// Fixed per-record geometry. Records are sized so 8192 % size == 0 — no
+// record ever straddles a page, so one record access faults one page.
+inline constexpr std::uint64_t kMaxFollowers = 30;    // per-user follower cap
+inline constexpr std::uint64_t kTimelineCap = 15;     // timeline ring entries
+inline constexpr std::uint64_t kUserRecordBytes = 32;
+inline constexpr std::uint64_t kPostRecordBytes = 64;
+inline constexpr std::uint64_t kFollowRecordBytes = 256;
+inline constexpr std::uint64_t kTimelineRecordBytes = 256;
+inline constexpr std::uint64_t kPostContentBytes = 40;  // stored prefix
+
+class SocialApp {
+ public:
+  struct Options {
+    int shards = 4;  // instances per class; <= LoadReport-friendly 64
+    // Maximum registered users across all shards (sizes the per-shard
+    // record segments; sparse segments mean capacity is nearly free).
+    std::uint64_t user_capacity = 1 << 16;
+    std::uint64_t post_ring_slots = 1 << 12;  // per post shard
+    // Bulk-registered at build() by bumping shard watermarks: O(shards),
+    // not O(users).
+    std::uint64_t seed_users = 0;
+  };
+
+  // Register the four shard classes, sized from the options. Idempotent per
+  // registry (skips classes already present).
+  static void registerClasses(obj::ClassRegistry& registry, const Options& options);
+
+  // Create + wire + seed all shards on `cluster` (synchronous; drains).
+  static Result<SocialApp> build(Cluster& cluster, const Options& options);
+
+  // ---- topology ----
+  int shards() const noexcept { return options_.shards; }
+  const Options& options() const noexcept { return options_; }
+  std::uint64_t shardOf(std::uint64_t user) const {
+    return user % static_cast<std::uint64_t>(options_.shards);
+  }
+  const std::string& userShardName(std::uint64_t user) const {
+    return user_names_[shardOf(user)];
+  }
+  const std::string& timelineShardName(std::uint64_t user) const {
+    return timeline_names_[shardOf(user)];
+  }
+  const std::string& followShardName(std::uint64_t user) const {
+    return follow_names_[shardOf(user)];
+  }
+  // Locality hints for the gossip scheduler (header sysnames as created;
+  // migration re-homes are chased through NameServer forwards on use).
+  const Sysname& userShardSys(std::uint64_t user) const {
+    return user_sys_[shardOf(user)];
+  }
+  const Sysname& timelineShardSys(std::uint64_t user) const {
+    return timeline_sys_[shardOf(user)];
+  }
+  const Sysname& followShardSys(std::uint64_t user) const {
+    return follow_sys_[shardOf(user)];
+  }
+
+  // ---- synchronous operations (tests, examples; each drains the sim) ----
+  Result<std::int64_t> registerUser(int compute_idx = 0);
+  Result<bool> follow(std::uint64_t follower, std::uint64_t followee,
+                      int compute_idx = 0);
+  Result<bool> unfollow(std::uint64_t follower, std::uint64_t followee,
+                        int compute_idx = 0);
+  Result<std::int64_t> post(std::uint64_t author, const std::string& content,
+                            int compute_idx = 0);
+  // Flattened [post_id, author, post_id, author, ...], newest first.
+  Result<obj::ValueList> readTimeline(std::uint64_t user, std::int64_t limit,
+                                      int compute_idx = 0);
+  Result<obj::ValueList> followersOf(std::uint64_t user, int compute_idx = 0);
+  // Sum of every user shard's registration watermark.
+  Result<std::int64_t> registeredUsers(int compute_idx = 0);
+
+  // ---- asynchronous starts (the load generator's interface) ----
+  std::shared_ptr<obj::Runtime::ThreadHandle> startRead(std::uint64_t user,
+                                                        std::int64_t limit,
+                                                        int compute_idx);
+  std::shared_ptr<obj::Runtime::ThreadHandle> startPost(std::uint64_t author,
+                                                        const std::string& content,
+                                                        int compute_idx);
+  std::shared_ptr<obj::Runtime::ThreadHandle> startFollow(std::uint64_t follower,
+                                                          std::uint64_t followee,
+                                                          int compute_idx);
+  std::shared_ptr<obj::Runtime::ThreadHandle> startRegister(std::uint64_t round_robin,
+                                                            int compute_idx);
+
+ private:
+  SocialApp(Cluster& cluster, Options options) : cluster_(&cluster), options_(options) {}
+
+  Cluster* cluster_;
+  Options options_;
+  std::uint64_t next_register_ = 0;  // round-robins synchronous registrations
+  std::vector<std::string> user_names_, post_names_, timeline_names_, follow_names_;
+  std::vector<Sysname> user_sys_, post_sys_, timeline_sys_, follow_sys_;
+};
+
+}  // namespace clouds::app

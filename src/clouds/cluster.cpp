@@ -69,6 +69,9 @@ void Cluster::finishComputeRole(Machine& m) {
   prov.resident_frames = [d = m.dsm] { return d->residentFrames(); };
   prov.frame_capacity = [d = m.dsm] { return d->frameCapacity(); };
   prov.cached_segments = [d = m.dsm](std::size_t max) { return d->cachedSegments(max); };
+  prov.homed_hot_objects = [this, rt0 = m.runtime.get(), node = m.node.get()] {
+    return rt0->homedHotCount(config_.migrate.min_heat, dataHomeOf(node->id()));
+  };
   m.sched = std::make_unique<sched::Agent>(*m.node, agentOptions(m.node->id()),
                                            std::move(prov));
   m.runtime->onThreadCompleted([mon = m.sched->monitor()](sim::Duration latency) {
@@ -87,6 +90,12 @@ void Cluster::finishComputeRole(Machine& m) {
     return rt->flushForMigration(self, o);
   };
   mh.pick_hot = [rt](std::uint64_t min_heat) { return rt->hottestObject(min_heat); };
+  mh.pick_spread = [this, rt, node = m.node.get()](std::uint64_t min_heat) {
+    return rt->spreadCandidate(min_heat, dataHomeOf(node->id()));
+  };
+  mh.homed_hot_count = [rt](std::uint64_t min_heat, net::NodeId home) {
+    return rt->homedHotCount(min_heat, home);
+  };
   mh.forget_heat = [rt](const Sysname& header) { rt->forgetHeat(header); };
   mh.data_home_of = [this](net::NodeId peer) { return dataHomeOf(peer); };
   mh.committed = [this, rt](const Sysname& old_header, const Sysname& new_header) {
@@ -264,6 +273,13 @@ std::shared_ptr<obj::Runtime::ThreadHandle> Cluster::start(const std::string& ob
       .startThreadByName(object_name, entry, std::move(args), workstationId(0), 0);
 }
 
+std::shared_ptr<obj::Runtime::ThreadHandle> Cluster::startObject(const Sysname& object,
+                                                                 const std::string& entry,
+                                                                 obj::ValueList args,
+                                                                 int compute_idx) {
+  return runtime(compute_idx).startThread(object, entry, std::move(args), workstationId(0), 0);
+}
+
 Result<void> Cluster::sync() {
   Result<void> out = okResult();
   for (auto& cv : compute_view_) {
@@ -387,6 +403,16 @@ void Cluster::notifyClientCrash(net::NodeId client) {
   }
 }
 
+void Cluster::notifyServerCrash(net::NodeId server) {
+  // The crashed data server's volatile directory died with it, so every
+  // grant it issued is void; surviving clients drop the cached copies it
+  // can no longer invalidate (dirty frames stay for write-back adoption).
+  for (auto& cv : compute_view_) {
+    if (!cv.node->alive() || cv.node->id() == server) continue;
+    cv.dsm->purgeHomedOn(server);
+  }
+}
+
 void Cluster::crashCompute(int idx) {
   ra::Node& n = *compute_view_.at(idx).node;
   n.crash();
@@ -398,6 +424,7 @@ void Cluster::crashData(int idx) {
   n.crash();
   // A combined machine's compute role dies with it.
   if (n.hasRole(ra::NodeRole::compute)) notifyClientCrash(n.id());
+  notifyServerCrash(n.id());
 }
 
 std::vector<net::NodeId> Cluster::resolveNames(const std::vector<std::string>& names) const {
@@ -424,6 +451,7 @@ void Cluster::installFaultHooks(sim::FaultPlan& plan) {
     hooks.crash = [this, node] {
       node->crash();
       if (node->hasRole(ra::NodeRole::compute)) notifyClientCrash(node->id());
+      if (node->hasRole(ra::NodeRole::data)) notifyServerCrash(node->id());
     };
     hooks.reboot = [node] { node->restart(); };
     if (m.store != nullptr) {

@@ -90,6 +90,15 @@ class Cluster {
                                                     const std::string& entry,
                                                     obj::ValueList args = {},
                                                     int compute_idx = 0);
+  // Asynchronous start by sysname: no NameServer round trip. The name-based
+  // start() sends every invocation through the name service (hosted on the
+  // first data node), which becomes the cluster hot spot under open-loop
+  // application load; callers that captured the Sysname at create() time
+  // should dispatch through this overload instead.
+  std::shared_ptr<obj::Runtime::ThreadHandle> startObject(const Sysname& object,
+                                                          const std::string& entry,
+                                                          obj::ValueList args = {},
+                                                          int compute_idx = 0);
 
   // The paper's §3.2 scheduling decision: "selecting a compute server to
   // execute the thread ... may depend on such factors as scheduling
@@ -247,6 +256,7 @@ class Cluster {
                       bool compute_role);
   void finishComputeRole(Machine& m);
   void notifyClientCrash(net::NodeId client);
+  void notifyServerCrash(net::NodeId server);
   std::vector<net::NodeId> resolveNames(const std::vector<std::string>& names) const;
   sched::Agent::Options agentOptions(net::NodeId id) const;
   migrate::Migrator::Options migrateOptions(net::NodeId id) const;

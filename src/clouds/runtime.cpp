@@ -214,6 +214,39 @@ std::optional<Sysname> Runtime::hottestObject(std::uint64_t min_heat) const {
   return best;
 }
 
+std::size_t Runtime::homedHotCount(std::uint64_t min_heat, net::NodeId home) const {
+  if (home == net::kNoNode) return 0;
+  std::size_t count = 0;
+  for (const auto& [name, ao] : active_) {
+    (void)ao;
+    if (draining_.count(name) != 0) continue;
+    if (ra::sysnameHome(name) != home) continue;
+    const auto it = heat_.find(name);
+    if (it != heat_.end() && it->second >= min_heat) ++count;
+  }
+  return count;
+}
+
+std::optional<Sysname> Runtime::spreadCandidate(std::uint64_t min_heat,
+                                                net::NodeId home) const {
+  if (home == net::kNoNode) return std::nullopt;
+  std::optional<Sysname> best;
+  std::uint64_t best_heat = 0;
+  for (const auto& [name, ao] : active_) {
+    (void)ao;
+    if (draining_.count(name) != 0) continue;
+    if (ra::sysnameHome(name) != home) continue;
+    const auto it = heat_.find(name);
+    const std::uint64_t h = it == heat_.end() ? 0 : it->second;
+    if (h < min_heat) continue;
+    if (!best.has_value() || h < best_heat) {  // strict <: lowest sysname wins ties
+      best = name;
+      best_heat = h;
+    }
+  }
+  return best;
+}
+
 Result<ActiveObject*> Runtime::activate(sim::Process& self, const Sysname& object) {
   auto it = active_.find(object);
   if (it != active_.end()) return &it->second;

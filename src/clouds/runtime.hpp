@@ -83,6 +83,13 @@ class Runtime {
   // (ordered scan: lowest sysname wins ties, deterministically).
   std::optional<Sysname> hottestObject(std::uint64_t min_heat) const;
   void forgetHeat(const Sysname& object) { heat_.erase(object); }
+  // Hot (>= min_heat) non-draining active objects whose segments are homed
+  // on `home` — the Migrator's notion of a local pile. The spread candidate
+  // is the *coldest* of the pile (lowest sysname on ties): re-spreading a
+  // quiet node should keep its hottest object's cache locality and ship the
+  // cheapest-to-lose one.
+  std::size_t homedHotCount(std::uint64_t min_heat, net::NodeId home) const;
+  std::optional<Sysname> spreadCandidate(std::uint64_t min_heat, net::NodeId home) const;
 
   // ---- Invocation ----
   Result<Value> invoke(CloudsThread& t, const Sysname& object, const std::string& entry,

@@ -19,6 +19,7 @@ DsmClientPartition::DsmClientPartition(ra::Node& node, DsmServer* local_server,
   m_invalidated_ = &metrics.counter(node_.name() + "/dsm/frames_invalidated");
   m_degraded_ = &metrics.counter(node_.name() + "/dsm/frames_degraded");
   m_remote_fetches_ = &metrics.counter(node_.name() + "/dsm/remote_fetches");
+  m_home_crash_purges_ = &metrics.counter(node_.name() + "/dsm/home_crash_purges");
   m_fault_latency_ = &metrics.histogram(node_.name() + "/dsm/fault_latency_usec");
   bindCallbackService();
   node_.onCrashHook([this] { loseVolatileState(); });
@@ -32,6 +33,30 @@ void DsmClientPartition::loseVolatileState() {
   // stay alive) instead of destroying them under the waiters.
   for (auto& [key, inf] : inflight_) inf.busy = false;
   pinned_.clear();
+}
+
+std::size_t DsmClientPartition::purgeHomedOn(net::NodeId home) {
+  std::size_t purged = 0;
+  for (auto& [key, f] : frames_) {
+    if (ra::sysnameHome(key.segment) != home) continue;
+    // Frames are invalidated in place, never erased: a process blocked
+    // mid-access may still hold a PageHandle into the frame's buffer.
+    const bool keep_dirty = f.state == FState::exclusive && f.dirty;
+    if (!keep_dirty && f.state != FState::invalid) {
+      f.state = FState::invalid;
+      f.dirty = false;
+      ++purged;
+    }
+    f.version = 0;
+    f.max_seen = 0;
+  }
+  if (purged != 0) {
+    *m_home_crash_purges_ += purged;
+    node_.simulation().trace(node_.name(), "dsm",
+                             "data server " + std::to_string(home) + " crashed: dropped " +
+                                 std::to_string(purged) + " cached frames");
+  }
+  return purged;
 }
 
 std::vector<Sysname> DsmClientPartition::cachedSegments(std::size_t max) const {
@@ -415,8 +440,16 @@ Result<void> DsmClientPartition::flushAll(sim::Process& self) {
 }
 
 void DsmClientPartition::dropSegment(const Sysname& segment) {
-  for (auto it = frames_.begin(); it != frames_.end();) {
-    it = it->first.segment == segment ? frames_.erase(it) : std::next(it);
+  // Invalidate in place, never erase: a faulting process blocked in
+  // compute() holds a Frame& into this map, and a concurrent transaction
+  // rollback (or migration) landing here would free it mid-fault. Stale
+  // entries are reclaimed later by maybeEvict, which skips in-flight keys.
+  for (auto& [key, f] : frames_) {
+    if (key.segment != segment) continue;
+    f.state = FState::invalid;
+    f.dirty = false;
+    f.version = 0;
+    f.max_seen = 0;
   }
 }
 

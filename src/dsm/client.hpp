@@ -75,6 +75,15 @@ class DsmClientPartition : public ra::Partition {
   // Node-crash hook: every frame is lost.
   void loseVolatileState();
 
+  // A data server crashed: its volatile directory (copysets, ownership)
+  // died with it, so every grant it issued is void — the rebooted server
+  // cannot invalidate copies it no longer remembers. Drop the clean frames
+  // homed there and reset their version horizon (the reborn directory
+  // numbers grants from 1 again). Dirty exclusive frames are kept: theirs
+  // is the only surviving copy, recovered by write-back adoption. Returns
+  // the number of frames dropped.
+  std::size_t purgeHomedOn(net::NodeId home);
+
   std::uint64_t hitCount() const noexcept { return hits_; }
   // Page requests that actually crossed the wire to a remote data server
   // (local-home short-circuits and cache hits excluded) — the locality
@@ -135,6 +144,7 @@ class DsmClientPartition : public ra::Partition {
   std::uint64_t* m_invalidated_;
   std::uint64_t* m_degraded_;
   std::uint64_t* m_remote_fetches_;
+  std::uint64_t* m_home_crash_purges_;
   sim::Histogram* m_fault_latency_;
 };
 

@@ -1,5 +1,6 @@
 #include "migrate/migrator.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace clouds::migrate {
@@ -64,7 +65,8 @@ bool Migrator::tick(sim::Process& self) {
   if (fsm_.state() != State::idle) return false;
   const sim::TimePoint now = node_.simulation().now();
   const sched::LoadTable::Entry* me = table_->find(node_.id());
-  if (me == nullptr || me->effectiveLoad() < options_.high_watermark) return false;
+  if (me == nullptr) return false;
+  if (me->effectiveLoad() < options_.high_watermark) return rebalanceTick(self, *me, now);
   // Pressure is relative: only the hottest node in view sheds (ties break
   // to the higher id, matching this check on the other side). A node whose
   // backlog merely trails a hotter peer would otherwise race it for the
@@ -91,6 +93,56 @@ bool Migrator::tick(sim::Process& self) {
   if (!hot.has_value()) return false;
   if (ra::sysnameHome(*hot) == target) return false;  // already lives there
   if (migrateObject(self, *hot, target).ok()) {
+    last_shipped_[*cold] = node_.simulation().now();
+  }
+  return true;
+}
+
+// The quiet-side counterpart of the pressure path: once load subsides, a
+// node left homing a pile of hot objects (dogpiled there while it was the
+// one cold peer) re-spreads them. Only strictly-improving moves are taken —
+// the target's advertised pile plus the object in flight must still be
+// smaller than ours — so two idle nodes can never trade objects back and
+// forth: every ship lowers the sum of squared pile sizes, and a node down
+// to one object never sheds it.
+bool Migrator::rebalanceTick(sim::Process& self, const sched::LoadTable::Entry& me,
+                             sim::TimePoint now) {
+  if (!options_.rebalance) return false;
+  if (me.effectiveLoad() > options_.low_watermark) return false;  // not quiet yet
+  if (!hooks_.pick_spread || !hooks_.homed_hot_count || !hooks_.data_home_of) return false;
+  const net::NodeId my_home = hooks_.data_home_of(node_.id());
+  if (my_home == net::kNoNode) return false;
+  const auto pile =
+      static_cast<std::uint32_t>(hooks_.homed_hot_count(options_.min_heat, my_home));
+  if (pile < 2) return false;
+  const auto cold = table_->coldestPeerBelow(
+      options_.low_watermark, now, [this, now, pile](net::NodeId peer) {
+        const auto it = last_shipped_.find(peer);
+        if (it != last_shipped_.end() && now - it->second < options_.target_backoff) {
+          return false;
+        }
+        const net::NodeId peer_home = hooks_.data_home_of(peer);
+        if (peer_home == net::kNoNode) return false;
+        const sched::LoadTable::Entry* e = table_->find(peer);
+        if (e == nullptr) return false;
+        // The peer's gossiped homed_hot misses objects it stores but never
+        // executes: an adopted object keeps being invoked from HERE, so its
+        // heat lives in OUR runtime and the peer advertises zero forever.
+        // Fold in our local count of hot objects homed on the peer — max,
+        // not sum, since an object invoked from both sides would otherwise
+        // be double-counted. Without this, one cold peer swallows the whole
+        // pile one backoff period at a time (1-3-0 instead of 2-1-1).
+        const std::size_t local = hooks_.homed_hot_count(options_.min_heat, peer_home);
+        const std::size_t known = std::max<std::size_t>(e->report.homed_hot, local);
+        return known + 1 < pile;
+      });
+  if (!cold.has_value()) return false;
+  const net::NodeId target = hooks_.data_home_of(*cold);
+  const auto candidate = hooks_.pick_spread(options_.min_heat);
+  if (!candidate.has_value()) return false;
+  if (ra::sysnameHome(*candidate) == target) return false;
+  event("rebalance pile " + std::to_string(pile) + " -> node " + std::to_string(target));
+  if (migrateObject(self, *candidate, target).ok()) {
     last_shipped_[*cold] = node_.simulation().now();
   }
   return true;

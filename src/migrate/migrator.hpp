@@ -58,6 +58,16 @@ class Migrator {
     // load we just gave it, and trusting it verbatim dogpiles every hot
     // object onto the lowest-id idle node.
     sim::Duration target_backoff = sim::msec(200);
+    // Low-watermark rebalance nudge (opt-in): a *quiet* node (effective
+    // load <= low_watermark) whose own data server homes a pile of hot
+    // objects re-spreads them to fresh peers reporting strictly smaller
+    // piles (homed_hot + 1 < ours). Each ship strictly decreases the sum of
+    // squared pile sizes, so the spreading terminates instead of trading
+    // objects between equally idle nodes forever; a pile of one never
+    // sheds. This is the fix for the "stranded placements" limitation:
+    // objects dogpiled onto a one-time-cold node no longer stay there after
+    // the pressure that sent them subsides (docs/MIGRATION.md).
+    bool rebalance = false;
   };
 
   // Closures into the clouds/ object runtime and cluster topology.
@@ -73,6 +83,19 @@ class Migrator {
     // Hottest local candidate (header sysname) with at least min_heat
     // invocations; nullopt when nothing qualifies.
     std::function<std::optional<Sysname>(std::uint64_t)> pick_hot;
+    // Coldest member of the pile homed on this node's own data server (the
+    // rebalance nudge ships the cheapest-to-lose object and keeps the
+    // hottest one's cache locality); nullopt when nothing qualifies.
+    std::function<std::optional<Sysname>(std::uint64_t)> pick_spread;
+    // Live count of active objects with >= min_heat invocations homed on
+    // the given data server. For our own home this must be exact (the
+    // gossiped self-report lags by a gossip interval, and shipping on a
+    // stale pile would overshoot the spread). For a peer's home it is the
+    // local view: adopted incarnations we keep invoking stay in OUR
+    // activation table with their new home, which is exactly what the
+    // peer's own report can never show (heat is invocation-local, so a
+    // node that stores a pile nobody invokes through it reports zero).
+    std::function<std::size_t(std::uint64_t, net::NodeId)> homed_hot_count;
     // Data server co-located with a compute peer (kNoNode: peer is diskless
     // and cannot adopt segments).
     std::function<net::NodeId(net::NodeId)> data_home_of;
@@ -109,6 +132,8 @@ class Migrator {
   void loop(sim::Process& self);
   void armTick(sim::Duration delay);
   bool tick(sim::Process& self);  // true if a migration was attempted
+  bool rebalanceTick(sim::Process& self, const sched::LoadTable::Entry& me,
+                     sim::TimePoint now);
   void event(std::string what);
   Result<void> copySegment(sim::Process& self, const Sysname& from, const Sysname& to,
                            std::uint64_t length);

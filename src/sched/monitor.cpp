@@ -31,6 +31,9 @@ LoadReport LoadMonitor::sample(std::uint64_t seq) const {
         static_cast<std::uint32_t>(providers_.resident_frames() * 1000 / capacity);
   }
   r.ewma_latency_usec = ewma_usec_;
+  if (providers_.homed_hot_objects) {
+    r.homed_hot = static_cast<std::uint32_t>(providers_.homed_hot_objects());
+  }
   if (locality_segments_ > 0) r.cached = providers_.cached_segments(locality_segments_);
   return r;
 }

@@ -22,6 +22,9 @@ class LoadMonitor {
     std::function<std::size_t()> resident_frames;
     std::function<std::size_t()> frame_capacity;
     std::function<std::vector<Sysname>(std::size_t max)> cached_segments;
+    // Hot objects homed on this node's co-located data server (0 for a
+    // diskless machine). Optional; feeds the rebalance nudge's pile sizes.
+    std::function<std::size_t()> homed_hot_objects;
   };
 
   LoadMonitor(net::NodeId node, Providers providers, std::size_t locality_segments);

@@ -18,6 +18,7 @@ Bytes LoadReport::encode() const {
   e.u32(threads);
   e.u32(frame_permille);
   e.u64(ewma_latency_usec);
+  e.u32(homed_hot);
   e.u32(static_cast<std::uint32_t>(std::min(cached.size(), kMaxSegments)));
   for (std::size_t i = 0; i < cached.size() && i < kMaxSegments; ++i) e.sysname(cached[i]);
   return std::move(e).take();
@@ -41,6 +42,8 @@ Result<LoadReport> LoadReport::decode(ByteSpan wire) {
   r.frame_permille = permille;
   CLOUDS_TRY_ASSIGN(ewma, d.u64());
   r.ewma_latency_usec = ewma;
+  CLOUDS_TRY_ASSIGN(homed, d.u32());
+  r.homed_hot = homed;
   CLOUDS_TRY_ASSIGN(count, d.u32());
   if (count > kMaxSegments) {
     return makeError(Errc::bad_argument, "LoadReport: oversized locality digest");

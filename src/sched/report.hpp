@@ -26,12 +26,14 @@ namespace clouds::sched {
 //   u32 threads         live Clouds threads hosted (run-queue length proxy)
 //   u32 frame_permille  DSM frame-cache occupancy, 0..1000
 //   u64 ewma_latency_usec  EWMA of recent invocation completion latency
+//   u32 homed_hot       hot objects homed on this node's own data server
+//                       (v2; feeds the Migrator's low-watermark rebalance)
 //   u32 segment_count, then that many 16-byte sysnames: the locality digest
 //       (segments with resident DSM frames, sorted, capped)
 struct LoadReport {
-  static constexpr std::uint8_t kVersion = 1;
-  // Cap keeps the report inside one Ethernet frame: 35 bytes of header +
-  // 24 * 16 bytes of digest = 419 bytes, well under the 1500-byte MTU.
+  static constexpr std::uint8_t kVersion = 2;
+  // Cap keeps the report inside one Ethernet frame: 39 bytes of header +
+  // 24 * 16 bytes of digest = 423 bytes, well under the 1500-byte MTU.
   static constexpr std::size_t kMaxSegments = 64;
 
   net::NodeId node = net::kNoNode;
@@ -39,6 +41,7 @@ struct LoadReport {
   std::uint32_t threads = 0;
   std::uint32_t frame_permille = 0;
   std::uint64_t ewma_latency_usec = 0;
+  std::uint32_t homed_hot = 0;
   std::vector<Sysname> cached;
 
   bool caches(const Sysname& segment) const;

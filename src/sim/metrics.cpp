@@ -31,6 +31,32 @@ void Histogram::observe(std::int64_t value) {
   sum_ += value;
 }
 
+std::int64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based: ceil(q * count), at least 1.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (cumulative + counts_[i] < rank) {
+      cumulative += counts_[i];
+      continue;
+    }
+    if (i >= bounds_.size()) return bounds_.empty() ? 0 : bounds_.back();  // overflow slot
+    const std::int64_t lo = (i == 0) ? 0 : bounds_[i - 1];
+    const std::int64_t hi = bounds_[i];
+    // Integer linear interpolation: position of the target rank inside the
+    // bucket's [lo, hi] span. All-int64 so same buckets => same answer.
+    const std::int64_t into = static_cast<std::int64_t>(rank - cumulative);
+    return lo + (hi - lo) * into / static_cast<std::int64_t>(counts_[i]);
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
 void Histogram::merge(const Histogram& other) {
   if (other.bounds_ != bounds_) {
     throw std::logic_error("Histogram::merge: bucket bounds differ");
@@ -175,6 +201,29 @@ std::string MetricsRegistry::toJson() const {
     }
     o += "]}";
   });
+  out += '}';
+  return out;
+}
+
+std::string MetricsRegistry::percentilesJson() const {
+  std::string out;
+  out += '{';
+  bool first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (h.count() == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    appendJsonString(out, name);
+    out += ":{\"count\":";
+    out += std::to_string(h.count());
+    out += ",\"p50\":";
+    out += std::to_string(h.quantile(0.50));
+    out += ",\"p95\":";
+    out += std::to_string(h.quantile(0.95));
+    out += ",\"p99\":";
+    out += std::to_string(h.quantile(0.99));
+    out += '}';
+  }
   out += '}';
   return out;
 }

@@ -43,6 +43,14 @@ class Histogram {
   const std::vector<std::int64_t>& bounds() const noexcept { return bounds_; }
   const std::vector<std::uint64_t>& bucketCounts() const noexcept { return counts_; }
 
+  // Estimate the q-quantile (q in [0,1]) from the bucket counts: find the
+  // bucket holding the rank-ceil(q*count) observation and interpolate
+  // linearly inside it, in pure integer arithmetic so the result is part of
+  // the deterministic universe. Observations in the overflow slot clamp to
+  // the last bound (the grid is the resolution limit — pick bounds that
+  // cover the tail you care about). Returns 0 on an empty histogram.
+  std::int64_t quantile(double q) const;
+
   // Fold another histogram in. Both must share bounds (same metric from
   // same-config universes); mismatched shapes are a programming error.
   void merge(const Histogram& other);
@@ -77,6 +85,12 @@ class MetricsRegistry {
   // Deterministic snapshot: keys sorted (std::map order), integers only,
   // no whitespace. Same seed => byte-identical output.
   std::string toJson() const;
+
+  // Deterministic p50/p95/p99 digest of every histogram, same ordering and
+  // formatting rules as toJson(). One code path for every consumer: the
+  // benches (bench::emitMetrics), the load generator, and any test that
+  // wants percentiles reads this instead of re-deriving from raw buckets.
+  std::string percentilesJson() const;
 
   std::size_t size() const noexcept {
     return counters_.size() + gauges_.size() + histograms_.size();

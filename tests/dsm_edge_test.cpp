@@ -71,6 +71,30 @@ TEST(DsmEdge, FaultDuringDataServerCrashFailsThenRecovers) {
   f.sim.run();
 }
 
+TEST(DsmEdge, ServerCrashPurgeDropsUnreachableGrants) {
+  // A data server reboot loses the volatile directory: without a crash-time
+  // purge, a surviving client's cached shared copy can never be invalidated
+  // again (the reborn directory has no copyset for it) and is read stale
+  // forever. purgeHomedOn is what Cluster::notifyServerCrash runs on every
+  // surviving client when a data server dies.
+  EdgeBed f;
+  f.sim.spawn("driver", [&](sim::Process& self) {
+    f.write64(self, 0, 0, 7);
+    ASSERT_TRUE(f.compute[0].dsm->flushSegment(self, f.seg).ok());
+    EXPECT_EQ(f.read64(self, 1, 0), 7u);  // node 1 now caches a shared copy
+    f.data[0].node->crash();
+    f.data[0].node->restart();
+    EXPECT_GE(f.compute[0].dsm->purgeHomedOn(f.data[0].node->id()), 1u);
+    EXPECT_GE(f.compute[1].dsm->purgeHomedOn(f.data[0].node->id()), 1u);
+    // The purge also reset the version horizon, so the reborn directory's
+    // small grant numbers are not mistaken for stale grants.
+    f.write64(self, 0, 0, 9);
+    ASSERT_TRUE(f.compute[0].dsm->flushSegment(self, f.seg).ok());
+    EXPECT_EQ(f.read64(self, 1, 0), 9u);  // the stale copy was dropped
+  });
+  f.sim.run();
+}
+
 TEST(DsmEdge, DirectoryHealsAfterClientDropsExclusiveFrame) {
   EdgeBed f;
   f.sim.spawn("driver", [&](sim::Process& self) {
@@ -195,6 +219,35 @@ TEST_P(DsmCapacitySweep, ReadYourWritesUnderEvictionPressure) {
 }
 
 INSTANTIATE_TEST_SUITE_P(FrameCapacities, DsmCapacitySweep, ::testing::Values(2, 3, 8, 64));
+
+TEST(DsmEdge, DropSegmentDuringBlockedFaultKeepsFrameAlive) {
+  // A faulting process blocks (RaTP to the remote home) while holding a
+  // reference into the frame map; a transaction rollback on the same node
+  // may dropSegment() during that window. dropSegment must invalidate in
+  // place, never erase — erasing frees the frame under the faulting
+  // process (heap-use-after-free, caught by the ASan lane).
+  EdgeBed f;
+  f.sim.spawn("writer", [&](sim::Process& self) {
+    f.write64(self, 0, 0, 41);
+    ASSERT_TRUE(f.compute[0].dsm->flushSegment(self, f.seg).ok());
+  });
+  f.sim.spawn("faulter", [&](sim::Process& self) {
+    self.delay(sim::msec(10));  // let the writer flush first
+    EXPECT_EQ(f.read64(self, 1, 0), 41u);
+  });
+  f.sim.spawn("dropper", [&](sim::Process& self) {
+    // Land inside the faulter's remote fetch: after the request leaves,
+    // before the grant is installed.
+    self.delay(sim::msec(10) + sim::usec(400));
+    f.compute[1].dsm->dropSegment(f.seg);
+  });
+  f.sim.run();
+  // The dropped (invalidated, not erased) frame refaults cleanly.
+  f.sim.spawn("refault", [&](sim::Process& self) {
+    EXPECT_EQ(f.read64(self, 1, 0), 41u);
+  });
+  f.sim.run();
+}
 
 }  // namespace
 }  // namespace clouds::test

@@ -62,6 +62,59 @@ TEST(Histogram, MergeAddsAndRejectsShapeMismatch) {
   EXPECT_THROW(a.merge(c), std::logic_error);
 }
 
+TEST(Histogram, QuantileInterpolatesInsideTheOwningBucket) {
+  Histogram h({10, 100, 1000});
+  // 10 observations in (10, 100]: ranks 1..10 all live in bucket 1.
+  for (int i = 0; i < 10; ++i) h.observe(50);
+  // p50 -> rank 5 of 10 inside [10, 100]: 10 + 90*5/10 = 55.
+  EXPECT_EQ(h.quantile(0.50), 55);
+  // p100 -> rank 10: the bucket's upper bound.
+  EXPECT_EQ(h.quantile(1.0), 100);
+  // p0 clamps to rank 1.
+  EXPECT_EQ(h.quantile(0.0), 10 + 90 * 1 / 10);
+}
+
+TEST(Histogram, QuantileWalksAcrossBuckets) {
+  Histogram h({10, 100, 1000});
+  for (int i = 0; i < 90; ++i) h.observe(5);     // bucket 0
+  for (int i = 0; i < 9; ++i) h.observe(500);    // bucket 2
+  h.observe(5000);                               // overflow
+  // p50 -> rank 50 of 100, inside bucket 0 ([0, 10]).
+  EXPECT_EQ(h.quantile(0.50), 0 + 10 * 50 / 90);
+  // p95 -> rank 95, inside bucket 2 ([100, 1000], 5th of its 9).
+  EXPECT_EQ(h.quantile(0.95), 100 + 900 * 5 / 9);
+  // p99+ lands in the overflow slot and clamps to the last bound.
+  EXPECT_EQ(h.quantile(0.999), 1000);
+}
+
+TEST(Histogram, QuantileOnEmptyHistogramIsZero) {
+  Histogram h({10, 100});
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.quantile(0.99), 0);
+}
+
+TEST(MetricsRegistry, PercentilesJsonIsSortedAndSkipsEmptyHistograms) {
+  MetricsRegistry r;
+  r.histogram("b/lat", {10, 100}).observe(50);
+  r.histogram("a/lat", {10, 100});  // registered but never observed: omitted
+  r.histogram("c/lat", {10, 100}).observe(5);
+  const std::string json = r.percentilesJson();
+  EXPECT_EQ(json.find("a/lat"), std::string::npos);
+  const auto b_pos = json.find("b/lat");
+  const auto c_pos = json.find("c/lat");
+  ASSERT_NE(b_pos, std::string::npos);
+  ASSERT_NE(c_pos, std::string::npos);
+  EXPECT_LT(b_pos, c_pos);
+  // Shape: count + the three fixed quantiles, integers only.
+  EXPECT_NE(json.find("\"b/lat\":{\"count\":1,\"p50\":"), std::string::npos);
+  // Determinism: rebuilding in a different order yields the same bytes.
+  MetricsRegistry r2;
+  r2.histogram("c/lat", {10, 100}).observe(5);
+  r2.histogram("a/lat", {10, 100});
+  r2.histogram("b/lat", {10, 100}).observe(50);
+  EXPECT_EQ(r2.percentilesJson(), json);
+}
+
 // Build a registry from (name, kind, amount) actions applied in the given
 // order.
 struct Action {

@@ -579,5 +579,88 @@ TEST(MigrationDaemon, MigratesAHotObjectUnderSkewedLoad) {
   EXPECT_EQ(c.call("H", "peek", {}, 1).value(), Value{0x5EED});
 }
 
+// ------------------------------------------------------------- rebalance
+
+// The "stranded placements" fix (docs/MIGRATION.md): objects dogpiled onto
+// one node spread back out once the cluster is quiet — without the old
+// pressure path ever firing, and without two idle nodes trading objects
+// forever afterwards.
+ClusterConfig rebalanceRig() {
+  ClusterConfig cfg;
+  cfg.compute_servers = 0;
+  cfg.data_servers = 0;
+  cfg.combined_servers = 3;
+  cfg.workstations = 0;
+  cfg.sched.gossip_interval = sim::msec(10);
+  cfg.migrate.enabled = true;
+  cfg.migrate.rebalance = true;
+  cfg.migrate.interval = sim::msec(20);
+  cfg.migrate.cooldown = sim::msec(50);
+  cfg.migrate.target_backoff = sim::msec(60);
+  cfg.migrate.high_watermark = 100;  // pressure path effectively off
+  cfg.migrate.low_watermark = 1;
+  cfg.migrate.min_heat = 1;
+  return cfg;
+}
+
+TEST(MigrationRebalance, QuietNodeSpreadsItsPileAndThenStaysPut) {
+  Cluster c(rebalanceRig());
+  obj::samples::registerAll(c.classes());
+  // Four hot objects, all homed on (and invoked from) node 0 — the shape a
+  // one-time-cold node is left in after a pressure episode.
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "C" + std::to_string(i);
+    ASSERT_TRUE(c.create("counter", name, /*data_idx=*/0, /*compute_idx=*/0).ok());
+    ASSERT_TRUE(c.call(name, "add", {1}, 0).ok());
+    ASSERT_TRUE(c.call(name, "add", {1}, 0).ok());
+  }
+  // Cluster is now quiet. Let gossip + the daemons run: strictly-improving
+  // moves take the 4-0-0 pile to 2-1-1 and then stop.
+  c.sim().runFor(sim::msec(3000));
+  const std::uint64_t committed = c.stats().migrations_committed;
+  EXPECT_EQ(committed, 2u) << c.stats().toString();
+  EXPECT_NE(c.migrationEvents().find("rebalance pile"), std::string::npos);
+
+  // Stability: much more quiet time moves nothing further (no ping-pong
+  // between the now-equally-idle nodes).
+  c.sim().runFor(sim::msec(5000));
+  EXPECT_EQ(c.stats().migrations_committed, committed);
+
+  // Every object still answers by name with its state intact, wherever it
+  // now lives.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.call("C" + std::to_string(i), "value", {}, 0).value(), Value{2});
+  }
+}
+
+TEST(MigrationRebalance, SingleObjectNeverShedsAndOptOutStaysStranded) {
+  // A pile of one is locality, not imbalance: it must not move.
+  {
+    Cluster c(rebalanceRig());
+    obj::samples::registerAll(c.classes());
+    ASSERT_TRUE(c.create("counter", "Only", 0, 0).ok());
+    ASSERT_TRUE(c.call("Only", "add", {1}, 0).ok());
+    ASSERT_TRUE(c.call("Only", "add", {1}, 0).ok());
+    c.sim().runFor(sim::msec(3000));
+    EXPECT_EQ(c.stats().migrations_committed, 0u) << c.stats().toString();
+  }
+  // With rebalance off (the default), the pile stays stranded — pinning the
+  // old behaviour so the nudge is provably what moved the objects above.
+  {
+    ClusterConfig cfg = rebalanceRig();
+    cfg.migrate.rebalance = false;
+    Cluster c(cfg);
+    obj::samples::registerAll(c.classes());
+    for (int i = 0; i < 4; ++i) {
+      const std::string name = "C" + std::to_string(i);
+      ASSERT_TRUE(c.create("counter", name, 0, 0).ok());
+      ASSERT_TRUE(c.call(name, "add", {1}, 0).ok());
+      ASSERT_TRUE(c.call(name, "add", {1}, 0).ok());
+    }
+    c.sim().runFor(sim::msec(3000));
+    EXPECT_EQ(c.stats().migrations_committed, 0u) << c.stats().toString();
+  }
+}
+
 }  // namespace
 }  // namespace clouds

@@ -28,6 +28,7 @@ sched::LoadReport sampleReport() {
   r.threads = 3;
   r.frame_permille = 417;
   r.ewma_latency_usec = 1234;
+  r.homed_hot = 5;
   r.cached = {Sysname(1, 2), Sysname(3, 4)};
   return r;
 }
@@ -42,6 +43,7 @@ TEST(LoadReport, CodecRoundTrip) {
   EXPECT_EQ(back.value().threads, r.threads);
   EXPECT_EQ(back.value().frame_permille, r.frame_permille);
   EXPECT_EQ(back.value().ewma_latency_usec, r.ewma_latency_usec);
+  EXPECT_EQ(back.value().homed_hot, r.homed_hot);
   EXPECT_EQ(back.value().cached, r.cached);
   EXPECT_TRUE(back.value().caches(Sysname(1, 2)));
   EXPECT_FALSE(back.value().caches(Sysname(9, 9)));
@@ -88,6 +90,7 @@ TEST(LoadMonitor, IntegerEwmaAndLocalSample) {
   EXPECT_EQ(r.threads, 4u);
   EXPECT_EQ(r.frame_permille, 250u);  // 512 / 2048
   EXPECT_EQ(r.ewma_latency_usec, 900u);
+  EXPECT_EQ(r.homed_hot, 0u);  // provider not wired: reports zero pile
   EXPECT_EQ(r.cached.size(), 2u);  // digest capped at locality_segments
   // A crash wipes the volatile average.
   mon.reset();
